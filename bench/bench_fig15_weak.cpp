@@ -1,0 +1,54 @@
+/// \file bench_fig15_weak.cpp
+/// \brief Figure 15 (a-e): weak scaling of the full one-pass 2:1 balance
+/// and its phases, old vs new, on the fractal six-octree forest.
+///
+/// The paper increments the maximum refinement level while multiplying the
+/// core count by 8, keeping ~constant octants per core; we do the same
+/// with simulated ranks at laptop scale.  Times are normalized to seconds
+/// per (million octants / rank) — constant bars mean perfect weak scaling
+/// (Figure 15's y axis).  Expected shape: the new algorithm is ~3-4x
+/// faster overall, with the largest win in Local rebalance.
+///
+///   ./bench_fig15_weak [--base 2] [--steps 3]
+
+#include "harness.hpp"
+#include "util/cli.hpp"
+#include "workload/workloads.hpp"
+
+using namespace octbal;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int base = static_cast<int>(cli.get_int("base", 2));
+  const int steps = static_cast<int>(cli.get_int("steps", 3));
+
+  std::printf("=== Figure 15: weak scaling, fractal forest (6 octrees), "
+              "corner balance ===\n");
+  std::printf("ranks x4 per step, fractal depth +1 per step (~constant "
+              "octants/rank)\n\n");
+  print_phase_header("traffic; times in s/(Moctants/rank)");
+
+  for (int s = 0; s < steps; ++s) {
+    const int ranks = 1 << (2 * s);  // 1, 4, 16, ... (the fractal rule splits
+    // half the children, growing ~4-5x per level, so x4 ranks per step keeps
+    // octants/rank roughly constant)
+    const int levels = 2 + s;        // fractal depth grows with rank count
+    const auto build = [&](int p) {
+      Forest<3> f(Connectivity<3>::brick({3, 2, 1}), p, base);
+      fractal_refine(f, base + levels);
+      f.partition_uniform();
+      return f;
+    };
+    for (int variant = 0; variant < 2; ++variant) {
+      const auto opt = variant == 0 ? BalanceOptions::old_config()
+                                    : BalanceOptions::new_config();
+      const RunResult r = run_balance<3>(build, ranks, opt);
+      const double moctants_per_rank =
+          static_cast<double>(r.octants) / 1e6 / ranks;
+      print_phase_row(r, variant == 0 ? "old" : "new", moctants_per_rank);
+    }
+  }
+  std::printf("\n(paper: old/new ratio 3.4-3.9x at every scale; new bars "
+              "nearly constant => weak scalability)\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+/// \file bench_forest_ops.cpp
+/// \brief Throughput of the forest-level operations surrounding balance —
+/// refinement, SFC partitioning, ghost-layer construction and node
+/// enumeration — on the ice-sheet workload.  The paper's point of
+/// comparison: balance has historically dominated all of these; after the
+/// new algorithms it no longer does (cf. "much more so than partitioning"
+/// in Section I).
+
+#include <benchmark/benchmark.h>
+
+#include "forest/balance.hpp"
+#include "forest/ghost.hpp"
+#include "forest/mesh.hpp"
+#include "forest/nodes.hpp"
+#include "workload/workloads.hpp"
+
+namespace octbal {
+namespace {
+
+Forest<3> make_balanced(int ranks, int lmax) {
+  Forest<3> f(Connectivity<3>::brick({4, 4, 1}), ranks, 1);
+  icesheet_refine(f, lmax);
+  f.partition_uniform();
+  SimComm comm(ranks);
+  balance(f, BalanceOptions::new_config(), comm);
+  return f;
+}
+
+void BM_RefineIceSheet(benchmark::State& state) {
+  const int lmax = static_cast<int>(state.range(0));
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    Forest<3> f(Connectivity<3>::brick({4, 4, 1}), 1, 1);
+    icesheet_refine(f, lmax);
+    n = f.global_num_octants();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["octants"] = static_cast<double>(n);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_PartitionUniform(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  Forest<3> f = make_balanced(ranks, 5);
+  // Skew then re-partition each iteration (the realistic AMR cycle).
+  for (auto _ : state) {
+    f.partition_weighted(
+        [](const TreeOct<3>& to) { return 1 + to.oct.level; });
+    f.partition_uniform();
+  }
+  state.counters["octants"] = static_cast<double>(f.global_num_octants());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.global_num_octants()));
+}
+
+void BM_Balance(benchmark::State& state) {
+  // For scale comparison with the surrounding operations.
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Forest<3> f(Connectivity<3>::brick({4, 4, 1}), ranks, 1);
+    icesheet_refine(f, 5);
+    f.partition_uniform();
+    SimComm comm(ranks);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(balance(f, BalanceOptions::new_config(), comm));
+  }
+}
+
+void BM_GhostLayer(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const Forest<3> f = make_balanced(ranks, 5);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    SimComm comm(ranks);
+    const auto g = build_ghost_layer(f, 3, comm);
+    total = 0;
+    for (const auto& v : g.per_rank) total += v.size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["ghosts"] = static_cast<double>(total);
+}
+
+void BM_EnumerateNodes(benchmark::State& state) {
+  const Forest<3> f = make_balanced(1, static_cast<int>(state.range(0)));
+  const auto leaves = f.gather();
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const auto nn = enumerate_nodes(leaves, f.connectivity());
+    nodes = nn.num_nodes;
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(leaves.size()));
+}
+
+void BM_AnalyzeMesh(benchmark::State& state) {
+  const Forest<3> f = make_balanced(1, static_cast<int>(state.range(0)));
+  const auto leaves = f.gather();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_mesh(leaves, f.connectivity()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(leaves.size()));
+}
+
+}  // namespace
+}  // namespace octbal
+
+using namespace octbal;
+
+BENCHMARK(BM_RefineIceSheet)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PartitionUniform)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Balance)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GhostLayer)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EnumerateNodes)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AnalyzeMesh)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK_MAIN();

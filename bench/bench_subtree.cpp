@@ -1,0 +1,109 @@
+/// \file bench_subtree.cpp
+/// \brief Section III harness: old (Figure 6) vs new (Figure 7) subtree
+/// balance.  Measures runtime plus the operation counts behind the paper's
+/// claims — roughly 3x fewer hash queries, smaller binary searches, and a
+/// postprocessing sort reduced by about 2^d — on random, fractal and
+/// corner-graded meshes in 2D and 3D.
+
+#include <benchmark/benchmark.h>
+
+#include "core/balance_subtree.hpp"
+#include "util/rng.hpp"
+
+namespace octbal {
+namespace {
+
+enum MeshKind { kRandom, kFractal, kCorner };
+
+template <int D>
+std::vector<Octant<D>> make_mesh(MeshKind kind, int scale) {
+  const auto root = root_octant<D>();
+  Rng rng(31 + scale);
+  switch (kind) {
+    case kRandom:
+      return random_complete_tree(rng, root, D == 3 ? 6 : 9,
+                                  static_cast<std::size_t>(scale));
+    case kFractal: {
+      // Split child ids {0, 3, ...} recursively.
+      std::vector<Octant<D>> t{root};
+      bool grown = true;
+      const int lmax = D == 3 ? 6 : 9;
+      while (grown && t.size() < static_cast<std::size_t>(scale)) {
+        grown = false;
+        std::vector<Octant<D>> next;
+        for (const auto& o : t) {
+          const bool split = o.level > 0 && o.level < lmax &&
+                             (child_id(o) == 0 || child_id(o) == D ||
+                              child_id(o) == num_children<D> - 2);
+          if (split || o.level == 0) {
+            grown = true;
+            for (int c = 0; c < num_children<D>; ++c)
+              next.push_back(child(o, c));
+          } else {
+            next.push_back(o);
+          }
+        }
+        t.swap(next);
+      }
+      std::sort(t.begin(), t.end());
+      return t;
+    }
+    case kCorner: {
+      // A single corner chain to the deepest level: maximal grading.
+      std::vector<Octant<D>> t{root};
+      auto o = root;
+      const int lmax = std::min(max_level<D> - 1, 14);
+      std::vector<Octant<D>> leaves;
+      for (int l = 0; l < lmax; ++l) {
+        for (int c = 1; c < num_children<D>; ++c)
+          leaves.push_back(child(o, c));
+        o = child(o, 0);
+      }
+      leaves.push_back(o);
+      std::sort(leaves.begin(), leaves.end());
+      return leaves;
+    }
+  }
+  return {};
+}
+
+template <int D, SubtreeAlgo Algo>
+void BM_SubtreeBalance(benchmark::State& state) {
+  const auto kind = static_cast<MeshKind>(state.range(0));
+  const int scale = static_cast<int>(state.range(1));
+  const auto mesh = make_mesh<D>(kind, scale);
+  const auto root = root_octant<D>();
+  SubtreeBalanceStats stats;
+  std::size_t out_size = 0;
+  for (auto _ : state) {
+    stats = SubtreeBalanceStats{};
+    const auto out = balance_subtree(Algo, mesh, D, root, &stats);
+    out_size = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["input"] = static_cast<double>(mesh.size());
+  state.counters["output"] = static_cast<double>(out_size);
+  state.counters["hash_queries"] = static_cast<double>(stats.hash_queries);
+  state.counters["bin_searches"] = static_cast<double>(stats.binary_searches);
+  state.counters["sorted"] = static_cast<double>(stats.sorted_octants);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mesh.size()));
+}
+
+}  // namespace
+}  // namespace octbal
+
+using namespace octbal;
+
+#define SUBTREE_ARGS                                               \
+  ->Args({kRandom, 2000})                                          \
+      ->Args({kRandom, 20000})                                     \
+      ->Args({kFractal, 20000})                                    \
+      ->Args({kCorner, 0})                                         \
+      ->Unit(benchmark::kMillisecond)
+
+BENCHMARK_TEMPLATE(BM_SubtreeBalance, 2, SubtreeAlgo::kOld) SUBTREE_ARGS;
+BENCHMARK_TEMPLATE(BM_SubtreeBalance, 2, SubtreeAlgo::kNew) SUBTREE_ARGS;
+BENCHMARK_TEMPLATE(BM_SubtreeBalance, 3, SubtreeAlgo::kOld) SUBTREE_ARGS;
+BENCHMARK_TEMPLATE(BM_SubtreeBalance, 3, SubtreeAlgo::kNew) SUBTREE_ARGS;
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+/// \file bench_table2_lambda.cpp
+/// \brief Table II harness: throughput of the O(1) remote-balance decision
+/// machinery (λ, Carry3, balanced_pair, closest_balanced and seed
+/// computation) for every dimension and balance condition, compared with
+/// the ripple-oracle alternative it replaces.  The paper's claim is that
+/// the decision runs in O(1) bit arithmetic, independent of the distance
+/// between octants — the *_FarPair benchmarks check exactly that.
+
+#include <benchmark/benchmark.h>
+
+#include "core/lambda.hpp"
+#include "core/ripple.hpp"
+#include "core/seeds.hpp"
+#include "util/rng.hpp"
+
+namespace octbal {
+namespace {
+
+template <int D>
+std::vector<std::pair<Octant<D>, Octant<D>>> make_pairs(std::size_t n,
+                                                        bool far) {
+  Rng rng(99);
+  const auto root = root_octant<D>();
+  std::vector<std::pair<Octant<D>, Octant<D>>> pairs;
+  while (pairs.size() < n) {
+    Octant<D> o = random_octant(rng, root, max_level<D> - 2);
+    if (o.level < 6) continue;
+    Octant<D> r = random_octant(rng, root, o.level > 8 ? 4 : 2);
+    if (overlaps(o, r) || r.level > o.level) continue;
+    if (far) {
+      // Force a large separation: use octants in opposite corners.
+      bool separated = true;
+      for (int i = 0; i < D; ++i) {
+        separated = separated &&
+                    (static_cast<scoord_t>(o.x[i]) -
+                     static_cast<scoord_t>(r.x[i])) > root_len<D> / 4;
+      }
+      if (!separated) continue;
+    }
+    pairs.push_back({o, r});
+  }
+  return pairs;
+}
+
+template <int D>
+void BM_BalancedPair(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto pairs = make_pairs<D>(1024, false);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [o, r] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(balanced_pair(o, r, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <int D>
+void BM_BalancedPair_FarPair(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto pairs = make_pairs<D>(1024, true);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [o, r] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(balanced_pair(o, r, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <int D>
+void BM_ClosestBalanced(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto pairs = make_pairs<D>(1024, false);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [o, r] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(closest_balanced(o, r, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <int D>
+void BM_BalanceSeeds(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto pairs = make_pairs<D>(1024, false);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [o, r] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(balance_seeds(o, r, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// The alternative the paper replaces: answer the same question by
+/// constructing Tk(o) with the ripple oracle.  Distances are kept small
+/// (level <= 5) or this would not terminate in reasonable time — which is
+/// the point.
+template <int D>
+void BM_OracleDecision(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const auto root = root_octant<D>();
+  std::vector<std::pair<Octant<D>, Octant<D>>> pairs;
+  while (pairs.size() < 32) {
+    auto o = random_octant(rng, root, 5);
+    auto r = random_octant(rng, root, 3);
+    if (o.level < 4 || overlaps(o, r) || r.level > o.level) continue;
+    pairs.push_back({o, r});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [o, r] = pairs[i++ & 31];
+    benchmark::DoNotOptimize(balanced_pair_oracle(o, r, k, root));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Carry3(benchmark::State& state) {
+  Rng rng(5);
+  std::uint64_t a = rng.next() >> 40, b = rng.next() >> 40,
+                c = rng.next() >> 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(carry3(a, b, c));
+    ++a;
+    b ^= a;
+  }
+}
+
+}  // namespace
+}  // namespace octbal
+
+using namespace octbal;
+
+BENCHMARK(BM_Carry3);
+BENCHMARK_TEMPLATE(BM_BalancedPair, 1)->Arg(1);
+BENCHMARK_TEMPLATE(BM_BalancedPair, 2)->Arg(1)->Arg(2);
+BENCHMARK_TEMPLATE(BM_BalancedPair, 3)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK_TEMPLATE(BM_BalancedPair_FarPair, 2)->Arg(2);
+BENCHMARK_TEMPLATE(BM_BalancedPair_FarPair, 3)->Arg(3);
+BENCHMARK_TEMPLATE(BM_ClosestBalanced, 2)->Arg(1)->Arg(2);
+BENCHMARK_TEMPLATE(BM_ClosestBalanced, 3)->Arg(2)->Arg(3);
+BENCHMARK_TEMPLATE(BM_BalanceSeeds, 2)->Arg(2);
+BENCHMARK_TEMPLATE(BM_BalanceSeeds, 3)->Arg(3);
+BENCHMARK_TEMPLATE(BM_OracleDecision, 2)->Arg(2);
+BENCHMARK_TEMPLATE(BM_OracleDecision, 3)->Arg(3);
+BENCHMARK_MAIN();

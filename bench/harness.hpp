@@ -1,0 +1,60 @@
+#pragma once
+/// \file harness.hpp
+/// \brief Shared helpers for the figure-reproduction benchmark binaries:
+/// run the full one-pass balance in a given configuration and print the
+/// per-phase rows the paper plots.
+
+#include <cstdio>
+
+#include "forest/balance.hpp"
+
+namespace octbal {
+
+struct RunResult {
+  BalanceReport rep;
+  std::uint64_t octants = 0;  ///< octants before balance
+  int ranks = 1;
+};
+
+/// Balance a freshly built forest (the builder is invoked so that old and
+/// new variants see identical meshes) and verify the result.
+template <int D, typename Builder>
+RunResult run_balance(Builder&& build, int ranks, const BalanceOptions& opt) {
+  Forest<D> f = build(ranks);
+  RunResult r;
+  r.ranks = ranks;
+  r.octants = f.global_num_octants();
+  SimComm comm(ranks);
+  r.rep = balance(f, opt, comm);
+  const int k = opt.k == 0 ? D : opt.k;
+  if (!forest_is_balanced(f.gather(), f.connectivity(), k)) {
+    std::fprintf(stderr, "FATAL: unbalanced result (ranks=%d)\n", ranks);
+    std::abort();
+  }
+  return r;
+}
+
+inline void print_phase_header(const char* metric) {
+  std::printf("%6s %10s %7s | %9s %9s %9s %9s %9s | %s\n", "ranks", "octants",
+              "algo", "local", "notify", "qry+resp", "rebal", "TOTAL",
+              metric);
+}
+
+/// One row of a Figure 15/17-style table.  \p norm divides the phase times
+/// (1.0 for raw seconds; millions-of-octants-per-rank for weak scaling).
+inline void print_phase_row(const RunResult& r, const char* algo,
+                            double norm) {
+  const auto& p = r.rep;
+  std::printf("%6d %10llu %7s | %9.4f %9.4f %9.4f %9.4f %9.4f | msgs=%llu "
+              "bytes=%llu\n",
+              r.ranks, static_cast<unsigned long long>(p.octants_after), algo,
+              p.t_local_balance / norm, p.t_notify / norm,
+              p.t_query_response / norm, p.t_local_rebalance / norm,
+              p.total() / norm,
+              static_cast<unsigned long long>(p.comm.messages +
+                                              p.notify_comm.messages),
+              static_cast<unsigned long long>(p.comm.bytes +
+                                              p.notify_comm.bytes));
+}
+
+}  // namespace octbal

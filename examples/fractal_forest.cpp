@@ -1,0 +1,77 @@
+/// \file fractal_forest.cpp
+/// \brief The weak-scaling workload of the paper (Figure 14/15): a
+/// six-octree 3D forest with the fractal refinement rule (split child ids
+/// 0, 3, 5, 6 recursively), corner-balanced with both the old and the new
+/// one-pass algorithm, with a per-phase comparison table.
+///
+///   ./fractal_forest [--ranks 8] [--levels 4] [--base 2]
+
+#include <cstdio>
+
+#include "forest/balance.hpp"
+#include "util/cli.hpp"
+#include "workload/workloads.hpp"
+
+using namespace octbal;
+
+namespace {
+
+Forest<3> make_mesh(int ranks, int base, int levels) {
+  // The six-octree forest: a 3x2x1 brick (Figure 14's six cubes).
+  Forest<3> f(Connectivity<3>::brick({3, 2, 1}), ranks, base);
+  fractal_refine(f, base + levels);
+  f.partition_uniform();
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int ranks = static_cast<int>(cli.get_int("ranks", 8));
+  const int base = static_cast<int>(cli.get_int("base", 2));
+  const int levels = static_cast<int>(cli.get_int("levels", 4));
+
+  std::printf("fractal forest: 6 octrees, base level %d, %d fractal levels, "
+              "%d simulated ranks\n\n",
+              base, levels, ranks);
+
+  BalanceReport reps[2];
+  const char* names[2] = {"old", "new"};
+  std::uint64_t before = 0, after = 0;
+  for (int variant = 0; variant < 2; ++variant) {
+    Forest<3> f = make_mesh(ranks, base, levels);
+    before = f.global_num_octants();
+    SimComm comm(ranks);
+    const BalanceOptions opt = variant == 0 ? BalanceOptions::old_config()
+                                            : BalanceOptions::new_config();
+    reps[variant] = balance(f, opt, comm);
+    after = f.global_num_octants();
+    if (!forest_is_balanced(f.gather(), f.connectivity(), 3)) {
+      std::printf("ERROR: %s pipeline produced an unbalanced forest\n",
+                  names[variant]);
+      return 1;
+    }
+  }
+
+  std::printf("octants: %llu -> %llu after corner balance\n\n",
+              static_cast<unsigned long long>(before),
+              static_cast<unsigned long long>(after));
+  std::printf("%-18s %12s %12s %10s\n", "phase [s]", "old", "new", "speedup");
+  const auto row = [&](const char* name, double o, double n) {
+    std::printf("%-18s %12.5f %12.5f %9.2fx\n", name, o, n,
+                n > 0 ? o / n : 0.0);
+  };
+  row("local balance", reps[0].t_local_balance, reps[1].t_local_balance);
+  row("notify", reps[0].t_notify, reps[1].t_notify);
+  row("query+response", reps[0].t_query_response, reps[1].t_query_response);
+  row("local rebalance", reps[0].t_local_rebalance, reps[1].t_local_rebalance);
+  row("TOTAL", reps[0].total(), reps[1].total());
+  std::printf("\n%-18s %12llu %12llu\n", "bytes moved",
+              static_cast<unsigned long long>(reps[0].comm.bytes),
+              static_cast<unsigned long long>(reps[1].comm.bytes));
+  std::printf("%-18s %12llu %12llu\n", "hash queries",
+              static_cast<unsigned long long>(reps[0].subtree.hash_queries),
+              static_cast<unsigned long long>(reps[1].subtree.hash_queries));
+  return 0;
+}

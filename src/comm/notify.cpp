@@ -1,0 +1,260 @@
+#include "comm/notify.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace octbal {
+
+std::vector<std::vector<int>> notify_naive(
+    SimComm& comm, const std::vector<std::vector<int>>& receivers) {
+  const int p = comm.size();
+  assert(static_cast<int>(receivers.size()) == p);
+  // N <- Allgather(|R|); R <- Allgatherv(R, N, O); scan (Figure 12).
+  std::vector<std::int32_t> counts(p);
+  for (int q = 0; q < p; ++q)
+    counts[q] = static_cast<std::int32_t>(receivers[q].size());
+  counts = comm.allgather(counts);
+  std::vector<std::vector<std::int32_t>> lists(p);
+  for (int q = 0; q < p; ++q)
+    lists[q].assign(receivers[q].begin(), receivers[q].end());
+  std::vector<std::size_t> offsets;
+  const std::vector<std::int32_t> all = comm.allgatherv(lists, &offsets);
+  std::vector<std::vector<int>> senders(p);
+  for (int q = 0; q < p; ++q) {
+    for (std::size_t i = offsets[q]; i < offsets[q + 1]; ++i) {
+      senders[all[i]].push_back(q);
+    }
+  }
+  return senders;
+}
+
+std::vector<std::vector<int>> notify_ranges(
+    SimComm& comm, const std::vector<std::vector<int>>& receivers,
+    int max_ranges) {
+  const int p = comm.size();
+  assert(max_ranges >= 1);
+  // Encode each sorted receiver list as <= max_ranges intervals by keeping
+  // the largest gaps as separators; the closure over-covers, so the sender
+  // lists are supersets (zero-length messages downstream).
+  std::vector<std::int32_t> enc(static_cast<std::size_t>(p) * 2 * max_ranges,
+                                -1);
+  for (int q = 0; q < p; ++q) {
+    const auto& rcv = receivers[q];
+    if (rcv.empty()) continue;
+    // Find the (max_ranges - 1) largest gaps between consecutive receivers.
+    std::vector<std::pair<int, std::size_t>> gaps;  // (gap size, index after)
+    for (std::size_t i = 0; i + 1 < rcv.size(); ++i) {
+      const int g = rcv[i + 1] - rcv[i];
+      if (g > 1) gaps.push_back({g, i + 1});
+    }
+    std::sort(gaps.begin(), gaps.end(), std::greater<>());
+    if (static_cast<int>(gaps.size()) > max_ranges - 1)
+      gaps.resize(max_ranges - 1);
+    std::vector<std::size_t> cuts;
+    for (const auto& g : gaps) cuts.push_back(g.second);
+    std::sort(cuts.begin(), cuts.end());
+    // Emit the intervals.
+    std::size_t begin = 0;
+    int slot = 0;
+    auto* row = &enc[static_cast<std::size_t>(q) * 2 * max_ranges];
+    for (std::size_t c = 0; c <= cuts.size(); ++c) {
+      const std::size_t end = c < cuts.size() ? cuts[c] : rcv.size();
+      row[2 * slot] = rcv[begin];
+      row[2 * slot + 1] = rcv[end - 1];
+      ++slot;
+      begin = end;
+    }
+  }
+  enc = comm.allgather(enc);
+  std::vector<std::vector<int>> senders(p);
+  for (int q = 0; q < p; ++q) {
+    const auto* row = &enc[static_cast<std::size_t>(q) * 2 * max_ranges];
+    for (int s = 0; s < max_ranges; ++s) {
+      const std::int32_t lo = row[2 * s], hi = row[2 * s + 1];
+      if (lo < 0) break;
+      for (std::int32_t t = lo; t <= hi; ++t) senders[t].push_back(q);
+    }
+  }
+  return senders;
+}
+
+std::vector<std::vector<int>> notify_dc(
+    SimComm& comm, const std::vector<std::vector<int>>& receivers) {
+  const int p = comm.size();
+  // Knowledge at rank q: pairs (receiver, original sender).  The invariant
+  // (Eq. 2): after round l, rank q holds exactly the pairs whose receiver
+  // is congruent to q modulo 2^l.
+  struct Pair {
+    std::int32_t receiver;
+    std::int32_t sender;
+  };
+  std::vector<std::vector<Pair>> know(p);
+  for (int q = 0; q < p; ++q) {
+    for (int r : receivers[q])
+      know[q].push_back({static_cast<std::int32_t>(r),
+                         static_cast<std::int32_t>(q)});
+  }
+  int levels = 0;
+  while ((1 << levels) < p) ++levels;
+
+  for (int l = 0; l < levels; ++l) {
+    const int bit = 1 << l;
+    const int mod = bit << 1;
+    // Post: each rank forwards the half of its knowledge whose receivers
+    // belong to the complementary residue class mod 2^(l+1).
+    for (int q = 0; q < p; ++q) {
+      const int other_class = (q ^ bit) & (mod - 1);
+      std::vector<Pair> ship, keep;
+      for (const Pair& pr : know[q]) {
+        if ((pr.receiver & (mod - 1)) == other_class) {
+          ship.push_back(pr);
+        } else {
+          keep.push_back(pr);
+        }
+      }
+      know[q].swap(keep);
+      int target = q ^ bit;
+      if (target >= p) {
+        // The canonical peer does not exist: re-route to the class
+        // representative 2^(l+1) below (p xor 2^l >= P rule of Section V).
+        target = (q ^ bit) - mod;
+      }
+      if (target < 0) {
+        // The complementary class has no member below P: the pairs are
+        // vacuous (no such receiver rank exists).
+        assert(ship.empty());
+        continue;
+      }
+      comm.send_items<Pair>(q, target, ship);
+    }
+    comm.deliver();
+    for (int q = 0; q < p; ++q) {
+      for (const SimMessage& m : comm.recv_all(q)) {
+        const auto items = SimComm::decode_items<Pair>(m);
+        know[q].insert(know[q].end(), items.begin(), items.end());
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> senders(p);
+  for (int q = 0; q < p; ++q) {
+    for (const Pair& pr : know[q]) {
+      assert(pr.receiver == q);
+      senders[q].push_back(pr.sender);
+    }
+    std::sort(senders[q].begin(), senders[q].end());
+    senders[q].erase(std::unique(senders[q].begin(), senders[q].end()),
+                     senders[q].end());
+  }
+  return senders;
+}
+
+std::vector<std::vector<NotifyPayload>> notify_dc_payload(
+    SimComm& comm,
+    const std::vector<std::vector<std::pair<int, std::vector<std::uint8_t>>>>&
+        outgoing) {
+  const int p = comm.size();
+  assert(static_cast<int>(outgoing.size()) == p);
+  struct Item {
+    std::int32_t receiver;
+    std::int32_t sender;
+    std::vector<std::uint8_t> data;
+  };
+  // Variable-length wire format: receiver, sender, length, bytes.
+  const auto pack = [](const std::vector<Item>& items) {
+    std::vector<std::uint8_t> buf;
+    for (const Item& it : items) {
+      std::uint8_t hdr[12];
+      std::memcpy(hdr, &it.receiver, 4);
+      std::memcpy(hdr + 4, &it.sender, 4);
+      const std::uint32_t len = static_cast<std::uint32_t>(it.data.size());
+      std::memcpy(hdr + 8, &len, 4);
+      buf.insert(buf.end(), hdr, hdr + 12);
+      buf.insert(buf.end(), it.data.begin(), it.data.end());
+    }
+    return buf;
+  };
+  const auto unpack = [](const std::vector<std::uint8_t>& buf) {
+    std::vector<Item> items;
+    std::size_t pos = 0;
+    while (pos + 12 <= buf.size()) {
+      Item it;
+      std::memcpy(&it.receiver, &buf[pos], 4);
+      std::memcpy(&it.sender, &buf[pos + 4], 4);
+      std::uint32_t len = 0;
+      std::memcpy(&len, &buf[pos + 8], 4);
+      pos += 12;
+      it.data.assign(buf.begin() + pos, buf.begin() + pos + len);
+      pos += len;
+      items.push_back(std::move(it));
+    }
+    return items;
+  };
+
+  std::vector<std::vector<Item>> know(p);
+  for (int q = 0; q < p; ++q) {
+    for (const auto& [recv, data] : outgoing[q]) {
+      know[q].push_back(
+          Item{static_cast<std::int32_t>(recv), static_cast<std::int32_t>(q),
+               data});
+    }
+  }
+  int levels = 0;
+  while ((1 << levels) < p) ++levels;
+  for (int l = 0; l < levels; ++l) {
+    const int bit = 1 << l;
+    const int mod = bit << 1;
+    for (int q = 0; q < p; ++q) {
+      const int other_class = (q ^ bit) & (mod - 1);
+      std::vector<Item> ship, keep;
+      for (Item& it : know[q]) {
+        ((it.receiver & (mod - 1)) == other_class ? ship : keep)
+            .push_back(std::move(it));
+      }
+      know[q].swap(keep);
+      int target = q ^ bit;
+      if (target >= p) target = (q ^ bit) - mod;
+      if (target < 0) {
+        assert(ship.empty());
+        continue;
+      }
+      comm.send(q, target, pack(ship));
+    }
+    comm.deliver();
+    for (int q = 0; q < p; ++q) {
+      for (const SimMessage& m : comm.recv_all(q)) {
+        auto items = unpack(m.data);
+        for (auto& it : items) know[q].push_back(std::move(it));
+      }
+    }
+  }
+
+  std::vector<std::vector<NotifyPayload>> result(p);
+  for (int q = 0; q < p; ++q) {
+    std::sort(know[q].begin(), know[q].end(),
+              [](const Item& a, const Item& b) { return a.sender < b.sender; });
+    for (Item& it : know[q]) {
+      assert(it.receiver == q);
+      result[q].push_back(NotifyPayload{it.sender, std::move(it.data)});
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<int>> notify(NotifyAlgo algo, SimComm& comm,
+                                     const std::vector<std::vector<int>>& receivers,
+                                     int max_ranges) {
+  switch (algo) {
+    case NotifyAlgo::kNaive:
+      return notify_naive(comm, receivers);
+    case NotifyAlgo::kRanges:
+      return notify_ranges(comm, receivers, max_ranges);
+    case NotifyAlgo::kNotify:
+      return notify_dc(comm, receivers);
+  }
+  return {};
+}
+
+}  // namespace octbal

@@ -1,0 +1,85 @@
+#include "comm/simcomm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace octbal {
+
+SimComm::SimComm(int nranks) : outbox_(nranks), inbox_(nranks) {
+  assert(nranks >= 1);
+}
+
+void SimComm::send(int from, int to, std::vector<std::uint8_t> data) {
+  assert(0 <= from && from < size());
+  assert(0 <= to && to < size());
+  outbox_[from].push_back(Pending{from, to, std::move(data)});
+}
+
+void SimComm::deliver() {
+  // Per-rank α–β cost of this round: the critical path is the maximum over
+  // ranks of (bytes sent + received, messages sent + received).
+  std::vector<CommStats> per_rank(outbox_.size());
+  for (auto& src : outbox_) {
+    for (auto& p : src) {
+      stats_.messages += 1;
+      stats_.bytes += p.data.size();
+      per_rank[p.from].messages += 1;
+      per_rank[p.from].bytes += p.data.size();
+      per_rank[p.to].messages += 1;
+      per_rank[p.to].bytes += p.data.size();
+      inbox_[p.to].push_back(SimMessage{p.from, std::move(p.data)});
+    }
+    src.clear();
+  }
+  double worst = 0.0;
+  for (const auto& s : per_rank) worst = std::max(worst, model_.time(s));
+  modeled_time_ += worst;
+  // Keep inboxes deterministic: order by sender, stable in post order —
+  // or, with failure injection enabled, in a pseudo-random order (still
+  // reproducible from the scramble seed).
+  for (auto& box : inbox_) {
+    if (scramble_) {
+      for (std::size_t i = box.size(); i > 1; --i) {
+        // splitmix64 step for a reproducible shuffle.
+        scramble_state_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = scramble_state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        std::swap(box[i - 1], box[(z ^ (z >> 31)) % i]);
+      }
+    } else {
+      std::stable_sort(box.begin(), box.end(),
+                       [](const SimMessage& a, const SimMessage& b) {
+                         return a.from < b.from;
+                       });
+    }
+  }
+}
+
+std::vector<SimMessage> SimComm::recv_all(int rank) {
+  assert(0 <= rank && rank < size());
+  std::vector<SimMessage> out;
+  out.swap(inbox_[rank]);
+  return out;
+}
+
+void SimComm::charge_collective(std::size_t total_bytes) {
+  const int p = size();
+  const auto logp = static_cast<std::uint64_t>(std::ceil(std::log2(p > 1 ? p : 2)));
+  // Tree-structured message count, full-replication volume.
+  CommStats s;
+  s.messages = static_cast<std::uint64_t>(p) * logp;
+  s.bytes = total_bytes;
+  stats_ += s;
+  // Critical path: every rank receives the fully replicated payload over a
+  // logarithmic number of rounds.
+  modeled_time_ += model_.time(CommStats{logp, total_bytes});
+}
+
+void SimComm::reset_stats() {
+  stats_ = CommStats{};
+  modeled_time_ = 0.0;
+}
+
+}  // namespace octbal

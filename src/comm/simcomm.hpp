@@ -1,0 +1,135 @@
+#pragma once
+/// \file simcomm.hpp
+/// \brief A bulk-synchronous simulated communicator.
+///
+/// SimComm hosts P simulated ranks inside one process.  Parallel algorithms
+/// are written rank-locally against this interface and driven in
+/// bulk-synchronous steps: during a step every rank may post point-to-point
+/// messages; deliver() then moves them to the receivers' inboxes, where the
+/// next step picks them up.  Collectives (allgather/allgatherv/allreduce)
+/// are provided as engine-level operations with explicit cost accounting.
+///
+/// This substitutes for MPI on a single machine (see DESIGN.md): per-rank
+/// work, message counts, and communication volumes — the quantities the
+/// paper's claims are about — are measured exactly; modeled time comes from
+/// comm/stats.hpp.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "comm/stats.hpp"
+
+namespace octbal {
+
+/// A delivered point-to-point message.
+struct SimMessage {
+  int from = 0;
+  std::vector<std::uint8_t> data;
+};
+
+class SimComm {
+ public:
+  explicit SimComm(int nranks);
+
+  int size() const { return static_cast<int>(outbox_.size()); }
+
+  /// Post a message from rank \p from to rank \p to; visible at \p to after
+  /// the next deliver().  Zero-length messages are legal and are counted.
+  void send(int from, int to, std::vector<std::uint8_t> data);
+
+  /// Typed convenience: send a contiguous array of trivially copyable T.
+  template <typename T>
+  void send_items(int from, int to, std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> buf(items.size_bytes());
+    if (!items.empty()) std::memcpy(buf.data(), items.data(), buf.size());
+    send(from, to, std::move(buf));
+  }
+
+  /// Barrier: move every posted message into the receiver inboxes.
+  /// Counts one communication round for the cost model (per-rank maxima).
+  void deliver();
+
+  /// Drain the inbox of \p rank (messages are returned in deterministic
+  /// (sender, post order) order).
+  std::vector<SimMessage> recv_all(int rank);
+
+  template <typename T>
+  static std::vector<T> decode_items(const SimMessage& m) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> v(m.data.size() / sizeof(T));
+    if (!v.empty()) std::memcpy(v.data(), m.data.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  /// Allgather of one value per rank.  Cost: a tree-structured exchange in
+  /// messages, full replication in volume.
+  template <typename T>
+  std::vector<T> allgather(const std::vector<T>& per_rank) {
+    charge_collective(per_rank.size() * sizeof(T) * (size() - 1));
+    return per_rank;
+  }
+
+  /// Allgatherv: concatenate per-rank buffers on every rank.  Returns the
+  /// concatenation plus offsets.  Cost: full replication of all data.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<std::vector<T>>& per_rank,
+                            std::vector<std::size_t>* offsets) {
+    std::vector<T> all;
+    std::size_t total = 0;
+    if (offsets) offsets->clear();
+    for (const auto& v : per_rank) {
+      if (offsets) offsets->push_back(all.size());
+      all.insert(all.end(), v.begin(), v.end());
+      total += v.size() * sizeof(T);
+    }
+    if (offsets) offsets->push_back(all.size());
+    charge_collective(total * (size() - 1));
+    return all;
+  }
+
+  /// Exact totals since construction.
+  const CommStats& stats() const { return stats_; }
+
+  /// Modeled communication time so far: sum over delivery rounds of the
+  /// per-rank critical path (max over ranks of that round's α–β cost).
+  double modeled_time() const { return modeled_time_; }
+
+  const CostModel& cost_model() const { return model_; }
+  void set_cost_model(const CostModel& m) { model_ = m; }
+
+  /// Reset counters (not pending messages) between benchmark phases.
+  void reset_stats();
+
+  /// Failure injection: deliver each inbox in a pseudo-random order instead
+  /// of the deterministic (sender, post order) one.  Real MPI makes no
+  /// ordering guarantee across senders; algorithms built on SimComm must
+  /// not depend on it, and the test suite runs the full balance pipeline
+  /// under scrambling to prove they do not.
+  void set_scramble(std::uint64_t seed) {
+    scramble_ = true;
+    scramble_state_ = seed | 1;
+  }
+
+ private:
+  void charge_collective(std::size_t total_bytes);
+
+  struct Pending {
+    int from;
+    int to;
+    std::vector<std::uint8_t> data;
+  };
+
+  std::vector<std::vector<Pending>> outbox_;      // per source rank
+  std::vector<std::vector<SimMessage>> inbox_;    // per destination rank
+  CommStats stats_;
+  CostModel model_;
+  double modeled_time_ = 0.0;
+  bool scramble_ = false;
+  std::uint64_t scramble_state_ = 0;
+};
+
+}  // namespace octbal

@@ -1,0 +1,25 @@
+#include "core/insulation.hpp"
+
+#include "core/neighborhood.hpp"
+
+namespace octbal {
+
+template <int D>
+void insulation_pieces(const Octant<D>& r, const Octant<D>& domain,
+                       std::vector<Octant<D>>& out) {
+  Octant<D> n;
+  for (const auto& off : full_offsets<D>()) {
+    if (neighbor_in<D>(r, off, domain, &n)) out.push_back(n);
+  }
+}
+
+#define OCTBAL_INSTANTIATE(D)                                  \
+  template void insulation_pieces<D>(const Octant<D>&,         \
+                                     const Octant<D>&,         \
+                                     std::vector<Octant<D>>&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -1,0 +1,157 @@
+#pragma once
+/// \file lambda.hpp
+/// \brief O(1) balance decisions between remote octants (Section IV,
+/// Table II of the paper).
+///
+/// Given a fine octant o and a remote coarser octant r, the paper shows the
+/// finest leaf a of the coarsest balanced octree Tk(o) that overlaps r can
+/// be computed analytically from coordinate distances, without constructing
+/// any intermediate octants: take the closest same-size-as-o descendant
+/// position ō of r, and find the coarsest dyadic ancestor block of ō that
+/// keeps a consistent distance/size relation with o's family.
+///
+/// Concretely (all lengths in units of o's side h = 2^l): the dyadic block
+/// of size 2^e containing ō can be a leaf of Tk(o) if and only if
+///     λk(g) >= 2^e - 2,
+/// where g is the vector of per-axis gaps between the block and the family
+/// cube parent(o), and λk combines the axes according to the balance
+/// condition exactly as in Table II of the paper:
+///     k = d:          λ = max_i g_i                 (cubic ripple profile)
+///     d = 2, k = 1:   λ = g_x + g_y                 (diamond profile)
+///     d = 3, k = 2:   λ = Carry3(g_x, g_y, g_z)
+///     d = 3, k = 1:   λ = Carry3(g_y+g_z, g_z+g_x, g_x+g_y)
+/// Carry3 is binary addition that carries only on three ones (Eq. 1); the
+/// Sierpinski-like fractal corners of the 3D profiles (Figure 11) make the
+/// combination carry-limited rather than affine.  size(a) is then the
+/// largest admissible e: admissibility is monotone, so the logarithm of the
+/// paper's floor(log2 λ(δ̄)) formulation becomes a short descending bit
+/// scan here (at most max_level steps of integer arithmetic, independent of
+/// the distance between o and r).
+///
+/// Everything in this header is validated exhaustively against the ripple
+/// oracle in tests/test_lambda.cpp: every octant pair of a small domain,
+/// every dimension, every balance condition.
+
+#include <bit>
+#include <cstdint>
+
+#include "core/octant.hpp"
+
+namespace octbal {
+
+/// Carry3(α,β,γ): binary addition of three numbers where a carry into the
+/// next bit happens only when at least three ones meet in a bit (Eq. 1).
+/// Only the most significant bit matters, hence the bitwise-OR form.
+constexpr std::uint64_t carry3(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t c) {
+  const std::uint64_t s = a + b + c - (a | b | c);
+  std::uint64_t m = a > b ? a : b;
+  if (c > m) m = c;
+  return s > m ? s : m;
+}
+
+/// λk(g) per Table II for dimension D and balance condition k, combining
+/// the per-dimension distances \p g.
+template <int D>
+constexpr std::uint64_t lambda(const std::array<std::uint64_t, D>& g, int k) {
+  if constexpr (D == 1) {
+    (void)k;
+    return g[0];
+  } else if constexpr (D == 2) {
+    if (k >= 2) return g[0] > g[1] ? g[0] : g[1];
+    return g[0] + g[1];
+  } else {
+    if (k >= 3) {
+      const std::uint64_t m = g[0] > g[1] ? g[0] : g[1];
+      return g[2] > m ? g[2] : m;
+    }
+    if (k == 2) return carry3(g[0], g[1], g[2]);
+    return carry3(g[1] + g[2], g[2] + g[0], g[0] + g[1]);
+  }
+}
+
+/// The closest descendant position of \p r with o's size (the paper's ō):
+/// o's anchor clamped into r's anchor grid.  Requires size(r) >= size(o).
+template <int D>
+constexpr Octant<D> closest_contained(const Octant<D>& o, const Octant<D>& r) {
+  assert(r.level <= o.level);
+  Octant<D> c;
+  c.level = o.level;
+  const coord_t span = side_len(r) - side_len(o);
+  for (int i = 0; i < D; ++i) {
+    coord_t v = o.x[i];
+    if (v < r.x[i]) v = r.x[i];
+    const coord_t hi = r.x[i] + span;
+    if (v > hi) v = hi;
+    c.x[i] = v;
+  }
+  return c;
+}
+
+/// Size exponent (log2 of side length) of the finest leaf of Tk(o) that
+/// overlaps octant \p r — equivalently, of the coarsest descendant of r at
+/// the position closest to o that is balanced with o (the paper's a).
+/// Requires size(r) >= size(o); if r contains o the answer is size(o).
+template <int D>
+constexpr int finest_exp_in(const Octant<D>& o, const Octant<D>& r, int k) {
+  const int l = size_exp(o);
+  if (contains(r, o)) return l;  // o itself is the finest leaf
+  assert(o.level > 0);
+  const Octant<D> obar = closest_contained(o, r);
+  const Octant<D> p = parent(o);
+  if (obar.level > 0 && parent(obar).x == p.x) return l;  // ō is a sibling
+
+  // Walk up the dyadic ancestors of ō while the distance/size relation
+  // holds; everything is measured in units of o's side length.
+  const scoord_t h = side_len(o);
+  // Note: the finest leaf overlapping r may be *coarser* than r itself (an
+  // ancestor of r); the scan is therefore not capped at r's size.
+  const int e_max = max_level<D> - l;
+  int e = 0;
+  while (e < e_max) {
+    const int cand = e + 1;
+    // The 2^cand-sized dyadic block containing ō.
+    const coord_t mask = ~((coord_t{1} << (max_level<D> - o.level + cand)) - 1);
+    std::array<std::uint64_t, D> g{};
+    for (int i = 0; i < D; ++i) {
+      const scoord_t blo = obar.x[i] & mask;
+      const scoord_t bhi = blo + (h << cand);
+      const scoord_t flo = p.x[i], fhi = flo + 2 * h;
+      // Per-axis separation in units of h: 0 when the projections overlap
+      // with positive measure, gap+1 when they touch or are separated (the
+      // +1 makes corner/edge contacts count as one diagonal step).
+      if (blo >= fhi) {
+        g[i] = static_cast<std::uint64_t>((blo - fhi) / h) + 1;
+      } else if (flo >= bhi) {
+        g[i] = static_cast<std::uint64_t>((flo - bhi) / h) + 1;
+      } else {
+        g[i] = 0;
+      }
+    }
+    if (lambda<D>(g, k) + 2 < (std::uint64_t{1} << cand)) break;
+    e = cand;
+  }
+  return l + e;
+}
+
+/// O(1) predicate: are octants o and r balanced, i.e. can both be leaves of
+/// one k-balanced octree?  (The paper's key decision procedure.)  Requires
+/// disjoint octants with size(r) >= size(o).
+template <int D>
+constexpr bool balanced_pair(const Octant<D>& o, const Octant<D>& r, int k) {
+  assert(!overlaps(o, r));
+  return finest_exp_in(o, r, k) >= size_exp(r);
+}
+
+/// The octant a itself: the coarsest descendant of \p r at the closest
+/// position to \p o that is balanced with \p o.
+template <int D>
+constexpr Octant<D> closest_balanced(const Octant<D>& o, const Octant<D>& r,
+                                     int k) {
+  const int e = finest_exp_in(o, r, k);
+  const int er = size_exp(r);
+  const Octant<D> obar = closest_contained(o, r);
+  return ancestor(obar, max_level<D> - (e < er ? e : er));
+}
+
+}  // namespace octbal

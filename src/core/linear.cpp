@@ -1,0 +1,141 @@
+#include "core/linear.hpp"
+
+#include <algorithm>
+
+#include "core/sort.hpp"
+
+namespace octbal {
+
+namespace {
+
+/// Morton interval arithmetic: an octant covers the half-open key interval
+/// [key, key + 2^(D*size_exp)).  Dyadic intervals of distinct octants either
+/// nest or are disjoint, which reduces gap filling to interval arithmetic.
+template <int D>
+morton_t interval_begin(const Octant<D>& o) {
+  return morton_key(o);
+}
+
+template <int D>
+morton_t interval_end(const Octant<D>& o) {
+  return morton_key(o) + (morton_t{1} << (D * size_exp(o)));
+}
+
+/// Emit the coarsest dyadic tiling of ival(cur) ∩ [lo, hi).
+template <int D>
+void fill_rec(const Octant<D>& cur, morton_t lo, morton_t hi,
+              std::vector<Octant<D>>& out) {
+  const morton_t b = interval_begin(cur), e = interval_end(cur);
+  if (e <= lo || b >= hi) return;  // disjoint
+  if (lo <= b && e <= hi) {        // fully inside: cur is a maximal tile
+    out.push_back(cur);
+    return;
+  }
+  assert(cur.level < max_level<D>);
+  for (int i = 0; i < num_children<D>; ++i) fill_rec(child(cur, i), lo, hi, out);
+}
+
+}  // namespace
+
+template <int D>
+void linearize(std::vector<Octant<D>>& a) {
+  sort_octants(a);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // In Morton preorder an ancestor immediately precedes its descendants,
+    // so dropping elements that contain their successor removes all overlap.
+    if (i + 1 < a.size() && contains(a[i], a[i + 1])) continue;
+    a[w++] = a[i];
+  }
+  a.resize(w);
+}
+
+template <int D>
+bool is_linear(const std::vector<Octant<D>>& a) {
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (!(a[i] < a[i + 1])) return false;
+    if (contains(a[i], a[i + 1])) return false;
+  }
+  return true;
+}
+
+template <int D>
+bool is_complete(const std::vector<Octant<D>>& a, const Octant<D>& root) {
+  if (a.empty()) return false;
+  if (interval_begin(a.front()) != interval_begin(root)) return false;
+  if (interval_end(a.back()) != interval_end(root)) return false;
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (interval_end(a[i]) != interval_begin(a[i + 1])) return false;
+  }
+  return true;
+}
+
+template <int D>
+void fill_gap(const Octant<D>& root, std::optional<Octant<D>> after,
+              std::optional<Octant<D>> before, std::vector<Octant<D>>& out) {
+  const morton_t lo = after ? interval_end(*after) : interval_begin(root);
+  const morton_t hi = before ? interval_begin(*before) : interval_end(root);
+  if (lo >= hi) return;
+  fill_rec(root, lo, hi, out);
+}
+
+template <int D>
+std::vector<Octant<D>> complete(const std::vector<Octant<D>>& a,
+                                const Octant<D>& root) {
+  assert(is_linear(a));
+  std::vector<Octant<D>> out;
+  out.reserve(a.size() * 2 + 8);
+  std::optional<Octant<D>> prev;
+  for (const Octant<D>& o : a) {
+    assert(contains(root, o));
+    fill_gap(root, prev, std::optional<Octant<D>>{o}, out);
+    out.push_back(o);
+    prev = o;
+  }
+  fill_gap(root, prev, std::optional<Octant<D>>{}, out);
+  return out;
+}
+
+template <int D>
+std::pair<std::size_t, std::size_t> overlapping_range(
+    const std::vector<Octant<D>>& a, const Octant<D>& q) {
+  const morton_t qb = interval_begin(q), qe = interval_end(q);
+  // First element whose interval extends past the start of q.
+  const auto lo = std::partition_point(
+      a.begin(), a.end(),
+      [&](const Octant<D>& o) { return interval_end(o) <= qb; });
+  // First element starting at or after the end of q.
+  const auto hi = std::partition_point(
+      lo, a.end(), [&](const Octant<D>& o) { return interval_begin(o) < qe; });
+  return {static_cast<std::size_t>(lo - a.begin()),
+          static_cast<std::size_t>(hi - a.begin())};
+}
+
+template <int D>
+std::size_t binary_find(const std::vector<Octant<D>>& a, const Octant<D>& q) {
+  const auto it = std::lower_bound(a.begin(), a.end(), q);
+  if (it != a.end() && *it == q) return static_cast<std::size_t>(it - a.begin());
+  return npos;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                                  \
+  template void linearize<D>(std::vector<Octant<D>>&);                         \
+  template bool is_linear<D>(const std::vector<Octant<D>>&);                   \
+  template bool is_complete<D>(const std::vector<Octant<D>>&,                  \
+                               const Octant<D>&);                              \
+  template void fill_gap<D>(const Octant<D>&, std::optional<Octant<D>>,        \
+                            std::optional<Octant<D>>,                          \
+                            std::vector<Octant<D>>&);                          \
+  template std::vector<Octant<D>> complete<D>(const std::vector<Octant<D>>&,   \
+                                              const Octant<D>&);               \
+  template std::pair<std::size_t, std::size_t> overlapping_range<D>(           \
+      const std::vector<Octant<D>>&, const Octant<D>&);                        \
+  template std::size_t binary_find<D>(const std::vector<Octant<D>>&,           \
+                                      const Octant<D>&);
+
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

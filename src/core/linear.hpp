@@ -1,0 +1,60 @@
+#pragma once
+/// \file linear.hpp
+/// \brief Algorithms on *linear octrees*: sorted arrays of leaf octants.
+///
+/// A sorted octant array is *linear* if no element is an ancestor of another
+/// (no overlaps) and *complete* if consecutive leaves leave no gaps, i.e. the
+/// array tiles its root exactly (Section III of the paper).
+
+#include <optional>
+#include <vector>
+
+#include "core/octant.hpp"
+
+namespace octbal {
+
+/// Sort \p a and remove duplicates and ancestors, keeping the finest octants
+/// (the leaves).  This is the paper's Linearize, O(n log n) including sorting
+/// (O(n) once sorted).
+template <int D>
+void linearize(std::vector<Octant<D>>& a);
+
+/// True iff \p a is sorted, duplicate-free, and ancestor-free.
+template <int D>
+bool is_linear(const std::vector<Octant<D>>& a);
+
+/// True iff the linear array \p a completely tiles \p root.
+template <int D>
+bool is_complete(const std::vector<Octant<D>>& a, const Octant<D>& root);
+
+/// Append to \p out the coarsest octants that tile the space inside \p root
+/// strictly between \p after and \p before (in Morton order).  Either bound
+/// may be std::nullopt, meaning the gap extends to the respective end of
+/// \p root.  Bounds must be descendants-or-equal of \p root and must not
+/// overlap each other.
+template <int D>
+void fill_gap(const Octant<D>& root, std::optional<Octant<D>> after,
+              std::optional<Octant<D>> before, std::vector<Octant<D>>& out);
+
+/// The paper's Complete: given a linear (gap-ridden) array \p a inside
+/// \p root, return the coarsest complete linear octree of \p root that
+/// contains every element of \p a as a leaf.
+template <int D>
+std::vector<Octant<D>> complete(const std::vector<Octant<D>>& a,
+                                const Octant<D>& root);
+
+/// Index of the first element of the sorted linear array \p a that overlaps
+/// octant \p q, and one past the last, as a half-open range.  Empty range if
+/// nothing overlaps.  An overlapping element is either a descendant of \p q
+/// or a (single possible) ancestor of \p q.
+template <int D>
+std::pair<std::size_t, std::size_t> overlapping_range(
+    const std::vector<Octant<D>>& a, const Octant<D>& q);
+
+/// Binary search for an exact element.  Returns its index or npos.
+template <int D>
+std::size_t binary_find(const std::vector<Octant<D>>& a, const Octant<D>& q);
+
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+}  // namespace octbal

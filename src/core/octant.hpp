@@ -1,0 +1,413 @@
+#pragma once
+/// \file octant.hpp
+/// \brief The basic octant type and the relationships of Table I of the paper.
+///
+/// An octant is a d-dimensional cube aligned to a dyadic grid.  Following the
+/// p4est convention (and unlike the paper's size-exponent notation), we store
+/// a *level*: the root octant has level 0 and an octant of level L has side
+/// length 2^(max_level - L) in units of the finest representable cell.  The
+/// paper's "l-octant" of side 2^l corresponds to level (max_level - l); helper
+/// functions convert between the two views where the distinction matters
+/// (notably in core/lambda.hpp, which implements Table II in the paper's
+/// size-exponent units).
+///
+/// Octants are ordered by the Morton (z-order) space-filling curve with the
+/// convention that an ancestor precedes all of its descendants (preorder).
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace octbal {
+
+/// Coordinate type for octant anchors (the corner closest to the origin).
+/// Coordinates are *signed*, p4est-style: valid octants live in
+/// [0, root_len), but the balance algorithms may construct "exterior"
+/// octants up to one root length outside the tree (auxiliary octants of the
+/// old one-pass algorithm, and octants transformed from neighboring trees
+/// of a forest).
+using coord_t = std::int32_t;
+/// Wide signed coordinate type for overflow-free arithmetic.
+using scoord_t = std::int64_t;
+/// Level type: 0 is the root.
+using level_t = std::int8_t;
+/// Morton key type: D * (max_level + 2) bits must fit.
+using morton_t = std::uint64_t;
+
+/// Maximum refinement depth per dimension, chosen so the Morton key of a
+/// *biased* coordinate (two extra bits of exterior headroom per dimension)
+/// fits in 64 bits: D * (max_level + 2) <= 63.
+template <int D>
+inline constexpr int max_level = (D == 3) ? 19 : 28;
+
+/// Side length of the root octant in units of the finest cell.
+template <int D>
+inline constexpr coord_t root_len = coord_t{1} << max_level<D>;
+
+/// Number of children of an octant (2^D) and corners of an octant.
+template <int D>
+inline constexpr int num_children = 1 << D;
+
+namespace detail {
+
+/// Spread the low 30 bits of v so bit i lands at position 2*i.
+constexpr std::uint64_t spread2(std::uint64_t v) {
+  v &= 0x3fffffffu;  // 30 bits
+  v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+/// Spread the low 21 bits of v so bit i lands at position 3*i.
+constexpr std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffffu;  // 21 bits
+  v = (v | (v << 32)) & 0x001f00000000ffffull;
+  v = (v | (v << 16)) & 0x001f0000ff0000ffull;
+  v = (v | (v << 8)) & 0x100f00f00f00f00full;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ull;
+  v = (v | (v << 2)) & 0x1249249249249249ull;
+  return v;
+}
+
+/// Inverse of spread2: gather every second bit back into the low 30 bits.
+constexpr std::uint64_t compact2(std::uint64_t v) {
+  v &= 0x5555555555555555ull;
+  v = (v | (v >> 1)) & 0x3333333333333333ull;
+  v = (v | (v >> 2)) & 0x0f0f0f0f0f0f0f0full;
+  v = (v | (v >> 4)) & 0x00ff00ff00ff00ffull;
+  v = (v | (v >> 8)) & 0x0000ffff0000ffffull;
+  v = (v | (v >> 16)) & 0x00000000ffffffffull;
+  return v;
+}
+
+/// Inverse of spread3: gather every third bit back into the low 21 bits.
+constexpr std::uint64_t compact3(std::uint64_t v) {
+  v &= 0x1249249249249249ull;
+  v = (v | (v >> 2)) & 0x10c30c30c30c30c3ull;
+  v = (v | (v >> 4)) & 0x100f00f00f00f00full;
+  v = (v | (v >> 8)) & 0x001f0000ff0000ffull;
+  v = (v | (v >> 16)) & 0x001f00000000ffffull;
+  v = (v | (v >> 32)) & 0x00000000001fffffull;
+  return v;
+}
+
+}  // namespace detail
+
+/// A d-dimensional octant (quadrant for D == 2, interval for D == 1).
+///
+/// Invariant for a *valid* octant: 0 <= level <= max_level<D> and every
+/// coordinate is a multiple of the side length and lies inside the root.
+/// An *extended* octant may additionally lie up to one root length outside
+/// the root in any direction (see coord_t above).
+template <int D>
+struct Octant {
+  std::array<coord_t, D> x{};  ///< anchor (minimum corner) coordinates
+  level_t level = 0;           ///< 0 = root, max_level<D> = finest
+
+  friend bool operator==(const Octant&, const Octant&) = default;
+};
+
+using Oct1 = Octant<1>;
+using Oct2 = Octant<2>;
+using Oct3 = Octant<3>;
+
+/// The root octant of a tree.
+template <int D>
+constexpr Octant<D> root_octant() {
+  return Octant<D>{};
+}
+
+/// Side length of \p o in finest-cell units: 2^(max_level - level).
+template <int D>
+constexpr coord_t side_len(const Octant<D>& o) {
+  return coord_t{1} << (max_level<D> - o.level);
+}
+
+/// The paper's size exponent: size(o) = log2(side length).
+template <int D>
+constexpr int size_exp(const Octant<D>& o) {
+  return max_level<D> - o.level;
+}
+
+/// True iff the coordinates are aligned to the level grid and in the root.
+template <int D>
+constexpr bool is_valid(const Octant<D>& o) {
+  if (o.level < 0 || o.level > max_level<D>) return false;
+  const coord_t mask = side_len(o) - 1;
+  for (int i = 0; i < D; ++i) {
+    if ((o.x[i] & mask) != 0) return false;
+    if (o.x[i] < 0 || o.x[i] >= root_len<D>) return false;
+  }
+  return true;
+}
+
+/// True iff aligned and within one root length of the root (the widest
+/// coordinates the balance algorithms may construct).
+template <int D>
+constexpr bool is_extended_valid(const Octant<D>& o) {
+  if (o.level < 0 || o.level > max_level<D>) return false;
+  const coord_t mask = side_len(o) - 1;
+  for (int i = 0; i < D; ++i) {
+    if ((o.x[i] & mask) != 0) return false;
+    if (o.x[i] < -root_len<D> || o.x[i] >= 2 * root_len<D>) return false;
+  }
+  return true;
+}
+
+/// Full Morton key of the anchor: coordinates interleaved bit by bit.
+/// Keys alone order disjoint octants; ties (equal keys) are broken by level
+/// so that ancestors precede descendants.  Coordinates are biased by one
+/// root length so that exterior octants interleave correctly too (the bias
+/// is level-aligned, so the dyadic interval structure is preserved).
+template <int D>
+constexpr morton_t morton_key(const Octant<D>& o) {
+  if constexpr (D == 1) {
+    return static_cast<morton_t>(
+        static_cast<std::uint32_t>(o.x[0] + root_len<D>));
+  } else if constexpr (D == 2) {
+    const auto bx = static_cast<std::uint32_t>(o.x[0] + root_len<D>);
+    const auto by = static_cast<std::uint32_t>(o.x[1] + root_len<D>);
+    return detail::spread2(bx) | (detail::spread2(by) << 1);
+  } else {
+    const auto bx = static_cast<std::uint32_t>(o.x[0] + root_len<D>);
+    const auto by = static_cast<std::uint32_t>(o.x[1] + root_len<D>);
+    const auto bz = static_cast<std::uint32_t>(o.x[2] + root_len<D>);
+    return detail::spread3(bx) | (detail::spread3(by) << 1) |
+           (detail::spread3(bz) << 2);
+  }
+}
+
+/// Total order: Morton preorder (ancestors precede descendants).
+template <int D>
+constexpr bool operator<(const Octant<D>& a, const Octant<D>& b) {
+  const morton_t ka = morton_key(a), kb = morton_key(b);
+  if (ka != kb) return ka < kb;
+  return a.level < b.level;
+}
+
+template <int D>
+constexpr bool operator<=(const Octant<D>& a, const Octant<D>& b) {
+  return !(b < a);
+}
+template <int D>
+constexpr bool operator>(const Octant<D>& a, const Octant<D>& b) {
+  return b < a;
+}
+template <int D>
+constexpr bool operator>=(const Octant<D>& a, const Octant<D>& b) {
+  return !(a < b);
+}
+
+/// child-id(o): index i such that i-child(parent(o)) == o (Table I).
+template <int D>
+constexpr int child_id(const Octant<D>& o) {
+  assert(o.level > 0);
+  const int h = max_level<D> - o.level;
+  int id = 0;
+  for (int i = 0; i < D; ++i) id |= static_cast<int>((o.x[i] >> h) & 1u) << i;
+  return id;
+}
+
+/// parent(o): the octant containing o that is twice as large (Table I).
+template <int D>
+constexpr Octant<D> parent(const Octant<D>& o) {
+  assert(o.level > 0);
+  Octant<D> p;
+  p.level = static_cast<level_t>(o.level - 1);
+  const coord_t mask = ~(side_len(p) - 1);
+  for (int i = 0; i < D; ++i) p.x[i] = o.x[i] & mask;
+  return p;
+}
+
+/// i-child(p): the child of p that touches the ith corner of p (Table I).
+template <int D>
+constexpr Octant<D> child(const Octant<D>& p, int i) {
+  assert(p.level < max_level<D>);
+  assert(0 <= i && i < num_children<D>);
+  Octant<D> c;
+  c.level = static_cast<level_t>(p.level + 1);
+  const coord_t h = side_len(c);
+  for (int d = 0; d < D; ++d) c.x[d] = p.x[d] + (((i >> d) & 1) ? h : 0);
+  return c;
+}
+
+/// i-sibling(o) = i-child(parent(o)) (Table I).  0-sibling is the family
+/// representative used by the new subtree balance algorithm.
+template <int D>
+constexpr Octant<D> sibling(const Octant<D>& o, int i) {
+  assert(o.level > 0);
+  assert(0 <= i && i < num_children<D>);
+  Octant<D> s;
+  s.level = o.level;
+  const coord_t h = side_len(o);
+  const coord_t mask = ~(2 * h - 1);
+  for (int d = 0; d < D; ++d) s.x[d] = (o.x[d] & mask) + (((i >> d) & 1) ? h : 0);
+  return s;
+}
+
+/// The ancestor of o at the (coarser or equal) level \p lvl.
+template <int D>
+constexpr Octant<D> ancestor(const Octant<D>& o, int lvl) {
+  assert(0 <= lvl && lvl <= o.level);
+  Octant<D> a;
+  a.level = static_cast<level_t>(lvl);
+  const coord_t mask = ~(side_len(a) - 1);
+  for (int i = 0; i < D; ++i) a.x[i] = o.x[i] & mask;
+  return a;
+}
+
+/// True iff a is a strict ancestor of o (a contains o, a != o).
+template <int D>
+constexpr bool is_ancestor(const Octant<D>& a, const Octant<D>& o) {
+  if (a.level >= o.level) return false;
+  return ancestor(o, a.level).x == a.x;
+}
+
+/// True iff a contains o (ancestor or equal).
+template <int D>
+constexpr bool contains(const Octant<D>& a, const Octant<D>& o) {
+  if (a.level > o.level) return false;
+  return ancestor(o, a.level).x == a.x;
+}
+
+/// True iff a and o overlap (one contains the other).
+template <int D>
+constexpr bool overlaps(const Octant<D>& a, const Octant<D>& o) {
+  return a.level <= o.level ? contains(a, o) : contains(o, a);
+}
+
+/// The first (Morton-least) descendant of o at level \p lvl.
+template <int D>
+constexpr Octant<D> first_descendant(const Octant<D>& o, int lvl) {
+  assert(lvl >= o.level && lvl <= max_level<D>);
+  return Octant<D>{o.x, static_cast<level_t>(lvl)};
+}
+
+/// The last (Morton-greatest) descendant of o at level \p lvl.
+template <int D>
+constexpr Octant<D> last_descendant(const Octant<D>& o, int lvl) {
+  assert(lvl >= o.level && lvl <= max_level<D>);
+  Octant<D> l;
+  l.level = static_cast<level_t>(lvl);
+  const coord_t off = side_len(o) - (coord_t{1} << (max_level<D> - lvl));
+  for (int i = 0; i < D; ++i) l.x[i] = o.x[i] + off;
+  return l;
+}
+
+/// Nearest common ancestor of a and b.
+template <int D>
+constexpr Octant<D> nearest_common_ancestor(const Octant<D>& a,
+                                            const Octant<D>& b) {
+  int maxbits = 0;
+  for (int i = 0; i < D; ++i) {
+    const int w =
+        std::bit_width(static_cast<std::uint32_t>(a.x[i] ^ b.x[i]));
+    if (w > maxbits) maxbits = w;
+  }
+  int lvl = max_level<D> - maxbits;
+  if (a.level < lvl) lvl = a.level;
+  if (b.level < lvl) lvl = b.level;
+  return ancestor(a.level <= b.level ? a : b, lvl);
+}
+
+/// 0-sibling(o): the family representative (first child of the parent).
+/// For the root (level 0) the octant itself is returned.
+template <int D>
+constexpr Octant<D> zero_sibling(const Octant<D>& o) {
+  if (o.level == 0) return o;
+  return sibling(o, 0);
+}
+
+/// family(o) as the parent's children; o itself is i == child_id(o).
+template <int D>
+constexpr std::array<Octant<D>, num_children<D>> family(const Octant<D>& o) {
+  assert(o.level > 0);
+  const Octant<D> p = parent(o);
+  std::array<Octant<D>, num_children<D>> f{};
+  for (int i = 0; i < num_children<D>; ++i) f[i] = child(p, i);
+  return f;
+}
+
+/// Preclusion (Section III-B): r is precluded by o, written r < o in the
+/// paper's preclusion order, iff parent(r) is a *strict* ancestor of
+/// parent(o).  Precluded octants are implied by finer constraints nearby and
+/// can be dropped and later regenerated by completion.
+template <int D>
+constexpr bool precludes_lt(const Octant<D>& r, const Octant<D>& o) {
+  assert(r.level > 0 && o.level > 0);
+  return is_ancestor(parent(r), parent(o));
+}
+
+/// Reflexive preclusion: r <= o iff parent(r) is ancestor of or equal to
+/// parent(o).  Equality of parents makes families the equivalence classes.
+template <int D>
+constexpr bool precludes_le(const Octant<D>& r, const Octant<D>& o) {
+  assert(r.level > 0 && o.level > 0);
+  return contains(parent(r), parent(o));
+}
+
+/// Neighbor of o at its own size, offset by \p off octant side lengths per
+/// dimension.  Returns false if the neighbor lies outside the root octant.
+template <int D>
+constexpr bool neighbor_in_root(const Octant<D>& o,
+                                const std::array<int, D>& off, Octant<D>* out) {
+  const scoord_t h = side_len(o);
+  Octant<D> n;
+  n.level = o.level;
+  for (int i = 0; i < D; ++i) {
+    const scoord_t c = static_cast<scoord_t>(o.x[i]) + off[i] * h;
+    if (c < 0 || c >= static_cast<scoord_t>(root_len<D>)) return false;
+    n.x[i] = static_cast<coord_t>(c);
+  }
+  *out = n;
+  return true;
+}
+
+/// Reconstruct an octant from its (biased) Morton key and level: the exact
+/// inverse of morton_key for extended-valid octants.
+template <int D>
+constexpr Octant<D> octant_from_key(morton_t key, int level) {
+  Octant<D> o;
+  o.level = static_cast<level_t>(level);
+  for (int i = 0; i < D; ++i) {
+    std::uint32_t biased = 0;
+    if constexpr (D == 1) {
+      biased = static_cast<std::uint32_t>(key);
+    } else if constexpr (D == 2) {
+      biased = static_cast<std::uint32_t>(detail::compact2(key >> i));
+    } else {
+      biased = static_cast<std::uint32_t>(detail::compact3(key >> i));
+    }
+    o.x[i] = static_cast<coord_t>(biased) - root_len<D>;
+  }
+  return o;
+}
+
+/// The index of \p o along the space-filling curve among all octants of
+/// its level (0 for the first, 2^(D*level) - 1 for the last).
+template <int D>
+constexpr std::uint64_t linear_index(const Octant<D>& o) {
+  assert(is_valid(o));
+  const morton_t bias = morton_key(root_octant<D>());
+  return (morton_key(o) - bias) >> (D * size_exp(o));
+}
+
+/// Human-readable form "(x,y,z)/level" for diagnostics and test failures.
+template <int D>
+std::string to_string(const Octant<D>& o) {
+  std::string s = "(";
+  for (int i = 0; i < D; ++i) {
+    if (i) s += ",";
+    s += std::to_string(o.x[i]);
+  }
+  s += ")/" + std::to_string(static_cast<int>(o.level));
+  return s;
+}
+
+}  // namespace octbal

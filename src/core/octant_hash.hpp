@@ -1,0 +1,119 @@
+#pragma once
+/// \file octant_hash.hpp
+/// \brief Open-addressing hash set of octants with query instrumentation.
+///
+/// Both subtree balance algorithms (Section III) keep newly created octants
+/// in a hash table; the paper's new algorithm claims roughly 3x fewer hash
+/// queries than the old one.  The set therefore counts queries so the claim
+/// can be measured (bench/bench_subtree).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/octant.hpp"
+
+namespace octbal {
+
+/// Statistics counters shared by hash sets and the balance algorithms.
+struct HashStats {
+  std::uint64_t queries = 0;  ///< insert/contains calls
+  std::uint64_t probes = 0;   ///< slot inspections (collision metric)
+};
+
+/// Hash an octant: mix the Morton key and level through splitmix64.
+template <int D>
+inline std::uint64_t octant_hash(const Octant<D>& o) {
+  std::uint64_t z = morton_key(o) ^ (static_cast<std::uint64_t>(o.level) << 58);
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Open-addressing (linear probing) hash set storing octants by value, plus
+/// an optional per-entry tag bit (used to mark preclusion in Figure 7).
+template <int D>
+class OctantHashSet {
+ public:
+  explicit OctantHashSet(std::size_t expected = 16, HashStats* stats = nullptr)
+      : stats_(stats) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  /// Insert \p o; returns true if newly inserted.  Counts one query.
+  bool insert(const Octant<D>& o) {
+    count_query();
+    std::size_t i = find_slot(o);
+    if (slots_[i].used) return false;
+    slots_[i] = Slot{o, true, false};
+    ++size_;
+    if (size_ * 2 > slots_.size()) grow();
+    return true;
+  }
+
+  /// Membership test.  Counts one query.
+  bool contains(const Octant<D>& o) const {
+    count_query();
+    return slots_[find_slot(o)].used;
+  }
+
+  /// Set the tag bit on an element already in the set (no-op if absent).
+  void tag(const Octant<D>& o) {
+    const std::size_t i = find_slot(o);
+    if (slots_[i].used) slots_[i].tagged = true;
+  }
+
+  bool is_tagged(const Octant<D>& o) const {
+    const std::size_t i = find_slot(o);
+    return slots_[i].used && slots_[i].tagged;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Append all (optionally only untagged) elements to \p out.
+  void collect(std::vector<Octant<D>>& out, bool skip_tagged = false) const {
+    for (const Slot& s : slots_) {
+      if (s.used && !(skip_tagged && s.tagged)) out.push_back(s.oct);
+    }
+  }
+
+ private:
+  struct Slot {
+    Octant<D> oct{};
+    bool used = false;
+    bool tagged = false;
+  };
+
+  std::size_t find_slot(const Octant<D>& o) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = octant_hash(o) & mask;
+    while (slots_[i].used && !(slots_[i].oct == o)) {
+      if (stats_) ++stats_->probes;
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void grow() {
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.resize(old.size() * 2);
+    for (const Slot& s : old) {
+      if (!s.used) continue;
+      std::size_t i = find_slot(s.oct);
+      slots_[i] = s;
+    }
+  }
+
+  void count_query() const {
+    if (stats_) ++stats_->queries;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  HashStats* stats_ = nullptr;
+};
+
+}  // namespace octbal

@@ -1,0 +1,32 @@
+#pragma once
+/// \file reduce.hpp
+/// \brief The paper's Reduce algorithm (Figure 8, Section III-B).
+///
+/// Reduce removes *precluded* octants from a sorted array: octants whose
+/// presence is implied, via the preclusion partial order, by a finer octant
+/// elsewhere in the array.  Every kept octant is stored as its 0-sibling
+/// (the family representative).  For a complete linear octree S the result R
+/// satisfies |R| <= |S| / 2^D, and complete(R) == S: Reduce is a lossless
+/// compression of complete linear octrees.
+
+#include <vector>
+
+#include "core/linear.hpp"  // npos
+#include "core/octant.hpp"
+
+namespace octbal {
+
+/// Reduce a sorted (linear) octant array to its preclusion-minimal,
+/// 0-sibling-normalized representation (Figure 8 of the paper).
+template <int D>
+std::vector<Octant<D>> reduce(const std::vector<Octant<D>>& s);
+
+/// In the reduced sorted array \p r, find an element t with t <= q in the
+/// preclusion order (t's parent contains q's parent), the "single equivalent
+/// binary search" of Section III-B.  Returns its index or npos.  Because r
+/// is reduced there is at most one such element.
+template <int D>
+std::size_t find_precluding_le(const std::vector<Octant<D>>& r,
+                               const Octant<D>& q);
+
+}  // namespace octbal

@@ -1,0 +1,124 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+
+namespace octbal {
+
+namespace {
+
+template <int D>
+void search_rec(
+    const std::vector<Octant<D>>& leaves, const Octant<D>& node,
+    std::size_t lo, std::size_t hi,
+    const std::function<bool(const Octant<D>&, std::size_t, std::size_t)>& pre,
+    const std::function<void(const Octant<D>&, std::size_t)>& leaf) {
+  if (lo >= hi) return;
+  if (!pre(node, lo, hi)) return;
+  if (hi - lo == 1 && leaves[lo] == node) {
+    leaf(node, lo);
+    return;
+  }
+  // Split the range among the children by Morton key intervals.
+  assert(node.level < max_level<D>);
+  std::size_t begin = lo;
+  for (int c = 0; c < num_children<D>; ++c) {
+    const Octant<D> ch = child(node, c);
+    const morton_t end_key =
+        morton_key(ch) + (morton_t{1} << (D * size_exp(ch)));
+    const auto it = std::partition_point(
+        leaves.begin() + begin, leaves.begin() + hi,
+        [&](const Octant<D>& o) { return morton_key(o) < end_key; });
+    const auto next = static_cast<std::size_t>(it - leaves.begin());
+    search_rec(leaves, ch, begin, next, pre, leaf);
+    begin = next;
+  }
+}
+
+}  // namespace
+
+template <int D>
+void search_tree(
+    const std::vector<Octant<D>>& leaves, const Octant<D>& root,
+    const std::function<bool(const Octant<D>&, std::size_t, std::size_t)>& pre,
+    const std::function<void(const Octant<D>&, std::size_t)>& leaf) {
+  assert(is_linear(leaves));
+  search_rec(leaves, root, 0, leaves.size(), pre, leaf);
+}
+
+template <int D>
+std::size_t find_containing_leaf(const std::vector<Octant<D>>& leaves,
+                                 const std::array<coord_t, D>& point) {
+  Octant<D> cell;
+  cell.level = max_level<D>;
+  cell.x = point;
+  // The containing leaf is the last element with key <= key(cell) that is
+  // an ancestor-or-equal of the finest cell at the point.
+  const auto it = std::upper_bound(leaves.begin(), leaves.end(), cell);
+  if (it == leaves.begin()) return npos;
+  const std::size_t idx = static_cast<std::size_t>(it - leaves.begin()) - 1;
+  return contains(leaves[idx], cell) ? idx : npos;
+}
+
+template <int D>
+std::vector<std::size_t> locate_points(
+    const std::vector<Octant<D>>& leaves, const Octant<D>& root,
+    const std::vector<std::array<coord_t, D>>& points) {
+  std::vector<std::size_t> result(points.size(), npos);
+  // Shared pass: carry the indices of the points inside each visited node.
+  struct Frame {
+    std::vector<std::size_t> pts;
+  };
+  std::vector<std::size_t> all(points.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  const std::function<void(const Octant<D>&, std::size_t, std::size_t,
+                           std::vector<std::size_t>&)>
+      rec = [&](const Octant<D>& node, std::size_t lo, std::size_t hi,
+                std::vector<std::size_t>& pts) {
+        if (lo >= hi || pts.empty()) return;
+        if (hi - lo == 1 && leaves[lo] == node) {
+          for (const std::size_t p : pts) result[p] = lo;
+          return;
+        }
+        assert(node.level < max_level<D>);
+        std::size_t begin = lo;
+        for (int c = 0; c < num_children<D>; ++c) {
+          const Octant<D> ch = child(node, c);
+          const morton_t end_key =
+              morton_key(ch) + (morton_t{1} << (D * size_exp(ch)));
+          const auto it = std::partition_point(
+              leaves.begin() + begin, leaves.begin() + hi,
+              [&](const Octant<D>& o) { return morton_key(o) < end_key; });
+          const auto next = static_cast<std::size_t>(it - leaves.begin());
+          std::vector<std::size_t> sub;
+          for (const std::size_t p : pts) {
+            Octant<D> cell;
+            cell.level = max_level<D>;
+            cell.x = points[p];
+            if (contains(ch, cell)) sub.push_back(p);
+          }
+          rec(ch, begin, next, sub);
+          begin = next;
+        }
+      };
+  rec(root, 0, leaves.size(), all);
+  return result;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                                \
+  template void search_tree<D>(                                             \
+      const std::vector<Octant<D>>&, const Octant<D>&,                      \
+      const std::function<bool(const Octant<D>&, std::size_t,               \
+                               std::size_t)>&,                              \
+      const std::function<void(const Octant<D>&, std::size_t)>&);           \
+  template std::size_t find_containing_leaf<D>(                             \
+      const std::vector<Octant<D>>&, const std::array<coord_t, D>&);        \
+  template std::vector<std::size_t> locate_points<D>(                       \
+      const std::vector<Octant<D>>&, const Octant<D>&,                      \
+      const std::vector<std::array<coord_t, D>>&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -1,0 +1,56 @@
+#include "core/seeds.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/lambda.hpp"
+#include "core/linear.hpp"
+#include "core/neighborhood.hpp"
+
+namespace octbal {
+
+template <int D>
+std::vector<Octant<D>> balance_seeds(const Octant<D>& o, const Octant<D>& r,
+                                     int k) {
+  assert(!overlaps(o, r));
+  std::vector<Octant<D>> out;
+  if (r.level > o.level) return out;  // r is finer than o: o cannot split it
+  const int er = size_exp(r);
+  if (finest_exp_in(o, r, k) >= er) return out;  // already balanced
+
+  // a: the finest leaf of Tk(o) inside r, at the closest position to o.
+  const Octant<D> a = closest_balanced(o, r, k);
+  out.push_back(a);
+  std::deque<Octant<D>> work{a};
+  std::vector<Octant<D>> nbhd;
+
+  // Grow the generator set outward: wherever a parent-sized neighbor
+  // position of an existing seed is still too coarse for Tk(o), add the
+  // closest balanced octant there.  Since Tk(o) grows coarser away from o,
+  // this closure visits the O(1)-size "too fine" region of r only.
+  while (!work.empty()) {
+    const Octant<D> s = work.front();
+    work.pop_front();
+    nbhd.clear();
+    coarse_neighborhood(s, k, r, nbhd);
+    for (const Octant<D>& n : nbhd) {
+      if (finest_exp_in(o, n, k) >= size_exp(n)) continue;  // n can be a leaf
+      const Octant<D> t = closest_balanced(o, n, k);
+      if (std::find(out.begin(), out.end(), t) != out.end()) continue;
+      out.push_back(t);
+      work.push_back(t);
+    }
+  }
+  linearize(out);
+  return out;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                           \
+  template std::vector<Octant<D>> balance_seeds<D>(const Octant<D>&,    \
+                                                   const Octant<D>&, int);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -1,0 +1,63 @@
+#include "core/sort.hpp"
+
+#include <algorithm>
+
+namespace octbal {
+
+namespace {
+
+constexpr std::size_t kRadixThreshold = 256;
+
+}  // namespace
+
+template <int D>
+void sort_octants(std::vector<Octant<D>>& a) {
+  const std::size_t n = a.size();
+  if (n < kRadixThreshold) {
+    std::sort(a.begin(), a.end());
+    return;
+  }
+  // Keyed records: LSD radix over (level, key byte 0, ..., key byte 7).
+  // Stable byte passes from least to most significant sort by key with
+  // level as the tie-break — exactly Morton preorder.
+  struct Rec {
+    morton_t key;
+    Octant<D> oct;
+  };
+  std::vector<Rec> cur(n), tmp(n);
+  int key_bytes = (D * (max_level<D> + 2) + 7) / 8;
+  for (std::size_t i = 0; i < n; ++i) cur[i] = {morton_key(a[i]), a[i]};
+
+  std::size_t count[256];
+  // Pass 0: level (values fit one byte).
+  const auto counting_pass = [&](auto&& digit) {
+    std::fill(std::begin(count), std::end(count), 0);
+    for (const Rec& r : cur) ++count[digit(r)];
+    std::size_t sum = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      const std::size_t c = count[b];
+      count[b] = sum;
+      sum += c;
+    }
+    for (const Rec& r : cur) tmp[count[digit(r)]++] = r;
+    cur.swap(tmp);
+  };
+
+  counting_pass([](const Rec& r) {
+    return static_cast<std::size_t>(static_cast<std::uint8_t>(r.oct.level));
+  });
+  for (int byte = 0; byte < key_bytes; ++byte) {
+    counting_pass([byte](const Rec& r) {
+      return static_cast<std::size_t>((r.key >> (8 * byte)) & 0xffu);
+    });
+  }
+  for (std::size_t i = 0; i < n; ++i) a[i] = cur[i].oct;
+}
+
+#define OCTBAL_INSTANTIATE(D) template void sort_octants<D>(std::vector<Octant<D>>&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

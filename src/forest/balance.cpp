@@ -1,0 +1,454 @@
+#include "forest/balance.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "core/lambda.hpp"
+#include "core/linear.hpp"
+#include "core/neighborhood.hpp"
+#include "core/seeds.hpp"
+#include "util/timer.hpp"
+
+namespace octbal {
+namespace {
+
+/// Wire format for one octant within a tree (trivially copyable).
+template <int D>
+struct WireOct {
+  std::int32_t tree;
+  std::int32_t level;
+  std::array<coord_t, D> x;
+
+  friend bool operator==(const WireOct&, const WireOct&) = default;
+  friend auto operator<=>(const WireOct&, const WireOct&) = default;
+};
+
+/// Wire format for one response item: a payload octant expressed in the
+/// query octant's tree frame (possibly exterior), tagged with its query.
+template <int D>
+struct WirePair {
+  WireOct<D> query;
+  std::int32_t level;
+  std::array<coord_t, D> x;
+
+  friend bool operator==(const WirePair&, const WirePair&) = default;
+  friend auto operator<=>(const WirePair&, const WirePair&) = default;
+};
+
+template <int D>
+WireOct<D> to_wire(const TreeOct<D>& to) {
+  return WireOct<D>{to.tree, to.oct.level, to.oct.x};
+}
+
+template <int D>
+TreeOct<D> from_wire(const WireOct<D>& w) {
+  TreeOct<D> to;
+  to.tree = w.tree;
+  to.oct.level = static_cast<level_t>(w.level);
+  to.oct.x = w.x;
+  return to;
+}
+
+/// Runs of equal tree id within a sorted TreeOct array.
+template <int D>
+std::vector<std::pair<std::size_t, std::size_t>> tree_runs(
+    const std::vector<TreeOct<D>>& a) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  std::size_t i = 0;
+  while (i < a.size()) {
+    std::size_t j = i;
+    while (j < a.size() && a[j].tree == a[i].tree) ++j;
+    runs.push_back({i, j});
+    i = j;
+  }
+  return runs;
+}
+
+/// Keep only the leaves of \p balanced whose Morton interval lies within
+/// the closed span of the original run [first, last].
+template <int D>
+void clip_to_span(const std::vector<Octant<D>>& balanced,
+                  const Octant<D>& first, const Octant<D>& last,
+                  std::int32_t tree, std::vector<TreeOct<D>>& out) {
+  const morton_t lo = morton_key(first);
+  const morton_t hi =
+      morton_key(last) + (morton_t{1} << (D * size_exp(last)));
+  for (const auto& o : balanced) {
+    const morton_t key = morton_key(o);
+    if (key >= lo && key < hi) out.push_back(TreeOct<D>{tree, o});
+  }
+}
+
+/// Remove ancestors (keep finest) in a sorted TreeOct array.
+template <int D>
+void linearize_treeocts(std::vector<TreeOct<D>>& a) {
+  std::sort(a.begin(), a.end());
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i + 1 < a.size() && a[i].tree == a[i + 1].tree &&
+        contains(a[i].oct, a[i + 1].oct)) {
+      continue;
+    }
+    a[w++] = a[i];
+  }
+  a.resize(w);
+}
+
+}  // namespace
+
+template <int D>
+BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
+  const int P = f.num_ranks();
+  const int k = opt.k == 0 ? D : opt.k;
+  assert(1 <= k && k <= D);
+  const auto root = root_octant<D>();
+  const auto& conn = f.connectivity();
+  BalanceReport rep;
+  rep.octants_before = f.global_num_octants();
+  const CommStats stats0 = comm.stats();
+  double modeled0 = comm.modeled_time();
+
+  // ------------------------------------------------------------------
+  // Phase 1: Local balance — per rank, per (tree, contiguous run).
+  // ------------------------------------------------------------------
+  {
+    double worst = 0;
+    for (int r = 0; r < P; ++r) {
+      Timer t;
+      auto& mine = f.local(r);
+      std::vector<TreeOct<D>> out;
+      out.reserve(mine.size());
+      for (const auto& [i, j] : tree_runs(mine)) {
+        std::vector<Octant<D>> run;
+        run.reserve(j - i);
+        for (std::size_t q = i; q < j; ++q) run.push_back(mine[q].oct);
+        const auto bal = balance_subtree(opt.subtree, run, k, root,
+                                         &rep.subtree);
+        clip_to_span(bal, run.front(), run.back(), mine[i].tree, out);
+      }
+      mine.swap(out);
+      worst = std::max(worst, t.seconds());
+    }
+    f.refresh_markers();
+    rep.t_local_balance = worst;
+  }
+
+  // ------------------------------------------------------------------
+  // Phase 2a: build queries — who must hear about which of my octants.
+  // ------------------------------------------------------------------
+  std::vector<std::vector<std::vector<WireOct<D>>>> qsend(P);
+  std::vector<std::vector<int>> receivers(P);
+  {
+    double worst = 0;
+    for (int r = 0; r < P; ++r) {
+      Timer t;
+      qsend[r].assign(P, {});
+      std::vector<std::size_t> last_mark(P, static_cast<std::size_t>(-1));
+      const auto& mine = f.local(r);
+      // The rank's own curve span: insulation pieces that stay inside the
+      // tree and inside this span need no owner search and no query at all
+      // (the bulk of the octants on a large partition — p4est likewise
+      // touches only near-boundary octants in this phase).
+      const GlobalPos own_lo = f.marker(r);
+      const GlobalPos own_hi = f.marker(r + 1);
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        const auto& to = mine[i];
+        // Whole-envelope early-out: if the full insulation layer I(o) lies
+        // inside the tree and inside this rank's curve span, no offset can
+        // produce a query.  Morton keys are monotone in componentwise
+        // coordinate order, so the (-1..-1) and (+1..+1) corner pieces
+        // bound every piece's key interval.
+        {
+          const coord_t hh = side_len(to.oct);
+          bool interior = true;
+          for (int dd = 0; dd < D && interior; ++dd) {
+            interior = to.oct.x[dd] >= hh &&
+                       to.oct.x[dd] + 2 * hh <= root_len<D>;
+          }
+          if (interior) {
+            Octant<D> lo_p = to.oct, hi_p = to.oct;
+            for (int dd = 0; dd < D; ++dd) {
+              lo_p.x[dd] -= hh;
+              hi_p.x[dd] += hh;
+            }
+            const GlobalPos env_lo{to.tree, morton_key(lo_p)};
+            const GlobalPos env_hi{
+                to.tree,
+                morton_key(hi_p) + (morton_t{1} << (D * size_exp(hi_p))) - 1};
+            if (own_lo <= env_lo && env_hi < own_hi) continue;
+          }
+        }
+        for (const auto& off : full_offsets<D>()) {
+          const auto nb = conn.neighbor(to.tree, to.oct, off);
+          if (!nb) continue;
+          const GlobalPos lo{nb->tree, morton_key(nb->oct)};
+          const GlobalPos hi{
+              nb->tree,
+              morton_key(nb->oct) + (morton_t{1} << (D * size_exp(nb->oct)))};
+          if (nb->tree == to.tree &&
+              nb->xform == FrameTransform<D>::identity() && own_lo <= lo &&
+              GlobalPos{nb->tree, hi.key - 1} < own_hi) {
+            continue;  // fully interior to this rank's subtree
+          }
+          const auto [r0, r1] = f.owners_of(lo, hi);
+          const bool same_frame =
+              nb->xform == FrameTransform<D>::identity();
+          for (int dest = r0; dest <= r1; ++dest) {
+            if (f.marker(dest) == f.marker(dest + 1)) continue;  // empty rank
+            // Same rank, same tree, and no boundary crossing: covered by
+            // the local subtree balance.  A piece that *wrapped* around a
+            // periodic boundary back into the same tree is a different
+            // coordinate frame and still needs the query/response path.
+            if (dest == r && nb->tree == to.tree && same_frame) continue;
+            if (last_mark[dest] == i) continue;              // already queued
+            last_mark[dest] = i;
+            qsend[r][dest].push_back(to_wire(to));
+            ++rep.queries_sent;
+          }
+        }
+      }
+      for (int dest = 0; dest < P; ++dest) {
+        if (!qsend[r][dest].empty()) receivers[r].push_back(dest);
+      }
+      worst = std::max(worst, t.seconds());
+    }
+    rep.t_query_response += worst;
+  }
+
+  // ------------------------------------------------------------------
+  // Phase 2b: Notify — reverse the asymmetric pattern (Section V).
+  // ------------------------------------------------------------------
+  double notify_model_time = 0;
+  std::vector<std::vector<std::pair<int, std::vector<WireOct<D>>>>> qrecv(P);
+  const bool fused =
+      opt.notify_carries_queries && opt.notify_algo == NotifyAlgo::kNotify;
+  if (fused) {
+    // Fused mode: the query octants ride along the Notify rounds as
+    // payloads (production-p4est style), so pattern reversal and query
+    // exchange are one collective step.
+    const CommStats before = comm.stats();
+    const double mbefore = comm.modeled_time();
+    Timer t;
+    std::vector<std::vector<std::pair<int, std::vector<std::uint8_t>>>> out(P);
+    for (int r = 0; r < P; ++r) {
+      for (int dest = 0; dest < P; ++dest) {
+        if (qsend[r][dest].empty()) continue;
+        if (dest == r) {
+          qrecv[r].push_back({r, qsend[r][dest]});
+          continue;
+        }
+        std::vector<std::uint8_t> buf(qsend[r][dest].size() *
+                                      sizeof(WireOct<D>));
+        std::memcpy(buf.data(), qsend[r][dest].data(), buf.size());
+        out[r].push_back({dest, std::move(buf)});
+      }
+    }
+    const auto delivered = notify_dc_payload(comm, out);
+    for (int r = 0; r < P; ++r) {
+      for (const auto& np : delivered[r]) {
+        std::vector<WireOct<D>> items(np.data.size() / sizeof(WireOct<D>));
+        if (!items.empty()) {
+          std::memcpy(items.data(), np.data.data(), np.data.size());
+        }
+        qrecv[r].push_back({np.sender, std::move(items)});
+      }
+    }
+    notify_model_time = comm.modeled_time() - mbefore;
+    rep.t_notify = t.seconds() + notify_model_time;
+    rep.notify_comm.messages = comm.stats().messages - before.messages;
+    rep.notify_comm.bytes = comm.stats().bytes - before.bytes;
+  } else {
+    {
+      const CommStats before = comm.stats();
+      const double mbefore = comm.modeled_time();
+      Timer t;
+      (void)notify(opt.notify_algo, comm, receivers, opt.notify_max_ranges);
+      notify_model_time = comm.modeled_time() - mbefore;
+      rep.t_notify = t.seconds() + notify_model_time;
+      rep.notify_comm.messages = comm.stats().messages - before.messages;
+      rep.notify_comm.bytes = comm.stats().bytes - before.bytes;
+    }
+
+    // ----------------------------------------------------------------
+    // Phase 2c: exchange the queries (self-queries bypass the network).
+    // ----------------------------------------------------------------
+    for (int r = 0; r < P; ++r) {
+      for (int dest = 0; dest < P; ++dest) {
+        if (qsend[r][dest].empty()) continue;
+        if (dest == r) {
+          qrecv[r].push_back({r, qsend[r][dest]});
+        } else {
+          comm.send_items<WireOct<D>>(
+              r, dest, std::span<const WireOct<D>>(qsend[r][dest]));
+        }
+      }
+    }
+    comm.deliver();
+    for (int r = 0; r < P; ++r) {
+      for (const auto& m : comm.recv_all(r)) {
+        qrecv[r].push_back({m.from, SimComm::decode_items<WireOct<D>>(m)});
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Phase 3: Response — decide which octants might split each query and
+  // answer with raw octants (old) or seeds (new).
+  // ------------------------------------------------------------------
+  std::vector<std::vector<std::pair<int, std::vector<WirePair<D>>>>> rrecv(P);
+  {
+    double worst = 0;
+    for (int r = 0; r < P; ++r) {
+      Timer t;
+      const auto& mine = f.local(r);
+      const auto runs = tree_runs(mine);
+      // Per-tree views for range searches.
+      std::map<int, std::vector<Octant<D>>> by_tree;
+      for (const auto& [i, j] : runs) {
+        auto& v = by_tree[mine[i].tree];
+        for (std::size_t q = i; q < j; ++q) v.push_back(mine[q].oct);
+      }
+      std::map<int, std::vector<WirePair<D>>> reply;
+      for (const auto& [from, queries] : qrecv[r]) {
+        auto& out = reply[from];
+        for (const auto& w : queries) {
+          const TreeOct<D> q = from_wire(w);
+          for (const auto& off : full_offsets<D>()) {
+            const auto nb = conn.neighbor(q.tree, q.oct, off);
+            if (!nb) continue;
+            const auto it = by_tree.find(nb->tree);
+            if (it == by_tree.end()) continue;
+            const auto& run = it->second;
+            const auto [lo, hi] = overlapping_range(run, nb->oct);
+            if (lo >= hi) continue;
+            // Map from the piece's own tree frame into q's frame (a pure
+            // translation for brick connectivities, a signed permutation
+            // plus translation for general 2D gluings).
+            for (std::size_t ji = lo; ji < hi; ++ji) {
+              if (run[ji].level <= q.oct.level) continue;  // too coarse
+              const Octant<D> o = nb->xform.apply(run[ji]);
+              if (opt.seed_response) {
+                if (o.level <= q.oct.level + 1) continue;     // 2:1 already
+                if (balanced_pair(o, q.oct, k)) continue;     // O(1) decision
+                for (const auto& s : balance_seeds(o, q.oct, k)) {
+                  out.push_back(WirePair<D>{w, s.level, s.x});
+                }
+              } else {
+                out.push_back(WirePair<D>{w, o.level, o.x});
+              }
+            }
+          }
+        }
+        // Seeds from different response octants overlap; deduplicate.
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        rep.response_items += out.size();
+      }
+      for (auto& [dest, items] : reply) {
+        if (items.empty()) continue;
+        if (dest == r) {
+          rrecv[r].push_back({r, std::move(items)});
+        } else {
+          comm.send_items<WirePair<D>>(r, dest,
+                                       std::span<const WirePair<D>>(items));
+        }
+      }
+      worst = std::max(worst, t.seconds());
+    }
+    comm.deliver();
+    for (int r = 0; r < P; ++r) {
+      for (const auto& m : comm.recv_all(r)) {
+        rrecv[r].push_back({m.from, SimComm::decode_items<WirePair<D>>(m)});
+      }
+    }
+    rep.t_query_response += worst;
+  }
+
+  // ------------------------------------------------------------------
+  // Phase 4: Local rebalance.
+  // ------------------------------------------------------------------
+  {
+    double worst = 0;
+    for (int r = 0; r < P; ++r) {
+      Timer t;
+      auto& mine = f.local(r);
+      if (opt.grouped_rebalance) {
+        // New scheme: reconstruct Tk ∩ q from the seeds, per query octant,
+        // with q as the subtree root — work proportional to the output.
+        std::map<WireOct<D>, std::vector<Octant<D>>> groups;
+        for (const auto& [from, items] : rrecv[r]) {
+          for (const auto& it : items) {
+            Octant<D> o;
+            o.level = static_cast<level_t>(it.level);
+            o.x = it.x;
+            groups[it.query].push_back(o);
+          }
+        }
+        std::vector<TreeOct<D>> extra;
+        for (auto& [qw, octs] : groups) {
+          const TreeOct<D> q = from_wire(qw);
+          std::sort(octs.begin(), octs.end());
+          linearize(octs);
+          const auto sub =
+              balance_subtree(opt.subtree, octs, k, q.oct, &rep.subtree);
+          for (const auto& o : sub) extra.push_back(TreeOct<D>{q.tree, o});
+        }
+        mine.insert(mine.end(), extra.begin(), extra.end());
+        linearize_treeocts(mine);
+      } else {
+        // Old scheme: merge every received octant as an auxiliary
+        // (possibly exterior) constraint and re-balance whole partitions.
+        std::map<int, std::vector<Octant<D>>> aux;
+        for (const auto& [from, items] : rrecv[r]) {
+          for (const auto& it : items) {
+            Octant<D> o;
+            o.level = static_cast<level_t>(it.level);
+            o.x = it.x;
+            aux[it.query.tree].push_back(o);
+          }
+        }
+        std::vector<TreeOct<D>> out;
+        out.reserve(mine.size());
+        for (const auto& [i, j] : tree_runs(mine)) {
+          const int tree = mine[i].tree;
+          std::vector<Octant<D>> input;
+          input.reserve(j - i);
+          for (std::size_t q = i; q < j; ++q) input.push_back(mine[q].oct);
+          const Octant<D> first = input.front(), last = input.back();
+          if (auto it = aux.find(tree); it != aux.end()) {
+            input.insert(input.end(), it->second.begin(), it->second.end());
+            std::sort(input.begin(), input.end());
+            linearize(input);
+          }
+          const auto bal =
+              balance_subtree(opt.subtree, input, k, root, &rep.subtree);
+          clip_to_span(bal, first, last, tree, out);
+        }
+        mine.swap(out);
+      }
+      worst = std::max(worst, t.seconds());
+    }
+    f.refresh_markers();
+    rep.t_local_rebalance = worst;
+  }
+
+  rep.comm.messages = comm.stats().messages - stats0.messages -
+                      rep.notify_comm.messages;
+  rep.comm.bytes = comm.stats().bytes - stats0.bytes - rep.notify_comm.bytes;
+  // Attribute the modeled communication time of the query/response
+  // exchanges to that phase; notify accounted for its own share above.
+  rep.t_query_response += (comm.modeled_time() - modeled0) - notify_model_time;
+  rep.octants_after = f.global_num_octants();
+  return rep;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                       \
+  template BalanceReport balance<D>(Forest<D>&, const BalanceOptions&, \
+                                    SimComm&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -1,0 +1,79 @@
+#pragma once
+/// \file balance.hpp
+/// \brief The parallel one-pass 2:1 balance algorithm (Sections II-B, III,
+/// IV, V combined), in both the pre-paper ("old") and the paper's ("new")
+/// configuration.
+///
+/// Phases, following Section II-B:
+///   1. Local balance   — every rank balances its own partition, one
+///                        subtree per (tree, contiguous run).
+///   2. Query           — every rank finds, for each of its octants r, the
+///                        ranks whose partitions overlap the insulation
+///                        layer I(r), and sends r to them.  The asymmetric
+///                        pattern is reversed with a Notify variant first.
+///   3. Response        — for each received query r, a rank determines
+///                        which of its octants might cause r to split, and
+///                        answers with either the raw octants (old) or seed
+///                        octants (new, Section IV).
+///   4. Local rebalance — old: merge the received octants as auxiliary
+///                        exterior constraints and re-balance whole
+///                        partitions; new: reconstruct Tk(o) ∩ r per query
+///                        octant from its seeds and merge.
+///
+/// Every old/new choice is independently switchable, which is what the
+/// ablation benchmarks exercise.
+
+#include "comm/notify.hpp"
+#include "comm/simcomm.hpp"
+#include "core/balance_subtree.hpp"
+#include "forest/forest.hpp"
+
+namespace octbal {
+
+struct BalanceOptions {
+  int k = 0;  ///< balance condition; 0 means full corner balance (k = D)
+  SubtreeAlgo subtree = SubtreeAlgo::kNew;  ///< Section III choice
+  bool seed_response = true;   ///< Section IV: seeds instead of raw octants
+  bool grouped_rebalance = true;  ///< Section IV: per-query reconstruction
+  NotifyAlgo notify_algo = NotifyAlgo::kNotify;  ///< Section V choice
+  int notify_max_ranges = 8;
+  /// Ship the query octants as payloads *inside* the Notify rounds
+  /// (production p4est style) instead of a separate exchange after the
+  /// pattern reversal.  Only meaningful with NotifyAlgo::kNotify.
+  bool notify_carries_queries = false;
+
+  static BalanceOptions old_config() {
+    return BalanceOptions{0, SubtreeAlgo::kOld, false, false,
+                          NotifyAlgo::kRanges, 8};
+  }
+  static BalanceOptions new_config() { return BalanceOptions{}; }
+};
+
+/// Timings and traffic per phase, mirroring Figures 15 and 17.  Times are
+/// the per-rank maximum of measured CPU time (the BSP critical path), plus
+/// the α–β model time for the communication the phase performed.
+struct BalanceReport {
+  double t_local_balance = 0;
+  double t_notify = 0;
+  double t_query_response = 0;
+  double t_local_rebalance = 0;
+  double total() const {
+    return t_local_balance + t_notify + t_query_response + t_local_rebalance;
+  }
+  CommStats comm;                 ///< traffic of query+response exchanges
+  CommStats notify_comm;          ///< traffic of the pattern reversal
+  std::uint64_t octants_before = 0;
+  std::uint64_t octants_after = 0;
+  std::uint64_t queries_sent = 0;    ///< query octants shipped (incl. self)
+  std::uint64_t response_items = 0;  ///< seeds or raw octants answered
+  SubtreeBalanceStats subtree;    ///< accumulated serial-balance counters
+};
+
+/// Run one-pass 2:1 balance over the forest.  The forest is modified in
+/// place (every rank's array is replaced by its balanced version; the
+/// partition ranges are unchanged).
+template <int D>
+BalanceReport balance(Forest<D>& forest, const BalanceOptions& opt,
+                      SimComm& comm);
+
+}  // namespace octbal

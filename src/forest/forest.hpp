@@ -1,0 +1,146 @@
+#pragma once
+/// \file forest.hpp
+/// \brief A distributed forest of octrees: per-rank sorted leaf arrays,
+/// a space-filling-curve global order, partition markers, and refinement /
+/// coarsening (Section II).
+///
+/// The forest stores, for each simulated rank, the sorted array of leaf
+/// octants it owns.  The global order is (tree id, Morton); partition
+/// markers record where each rank's range begins, enabling O(log P) owner
+/// lookups for arbitrary octant ranges — the mechanism behind the Query
+/// phase of one-pass balance.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "comm/simcomm.hpp"
+#include "forest/connectivity.hpp"
+
+namespace octbal {
+
+/// A position on the global space-filling curve: the first finest-level
+/// descendant of an octant, comparable across the whole forest.
+struct GlobalPos {
+  std::int32_t tree = 0;
+  morton_t key = 0;
+
+  friend bool operator==(const GlobalPos&, const GlobalPos&) = default;
+  friend bool operator<(const GlobalPos& a, const GlobalPos& b) {
+    if (a.tree != b.tree) return a.tree < b.tree;
+    return a.key < b.key;
+  }
+  friend bool operator<=(const GlobalPos& a, const GlobalPos& b) {
+    return !(b < a);
+  }
+};
+
+template <int D>
+GlobalPos position_of(const TreeOct<D>& to) {
+  return GlobalPos{to.tree, morton_key(to.oct)};
+}
+
+/// One past the last position covered by \p to.
+template <int D>
+GlobalPos end_position_of(const TreeOct<D>& to) {
+  return GlobalPos{to.tree,
+                   morton_key(to.oct) + (morton_t{1} << (D * size_exp(to.oct)))};
+}
+
+template <int D>
+class Forest {
+ public:
+  using RefinePred = std::function<bool(const TreeOct<D>&)>;
+
+  /// A uniformly refined forest at \p level, partitioned evenly over
+  /// \p nranks ranks.
+  Forest(Connectivity<D> conn, int nranks, int level);
+
+  const Connectivity<D>& connectivity() const { return conn_; }
+  int num_ranks() const { return static_cast<int>(local_.size()); }
+
+  std::vector<TreeOct<D>>& local(int rank) { return local_[rank]; }
+  const std::vector<TreeOct<D>>& local(int rank) const { return local_[rank]; }
+
+  /// Partition markers: rank r owns SFC positions [marker(r), marker(r+1)).
+  const GlobalPos& marker(int r) const { return marks_[r]; }
+
+  /// All ranks whose ranges intersect [lo, hi) — half-open in curve
+  /// positions.  Returns {first, last} rank inclusive, or {1, 0} if none.
+  std::pair<int, int> owners_of(const GlobalPos& lo, const GlobalPos& hi) const;
+
+  /// Refine every leaf for which \p pred returns true; with \p recursive,
+  /// newly created children are tested again (up to max_level).
+  void refine(const RefinePred& pred, bool recursive);
+
+  /// Coarsen every complete family, fully owned by one rank, whose members
+  /// all satisfy \p pred.  One sweep (not recursive).
+  void coarsen(const RefinePred& pred);
+
+  /// Redistribute octants so every rank owns an equal share (±1), updating
+  /// the partition markers.  Bytes crossing rank boundaries are charged to
+  /// \p comm when given.
+  void partition_uniform(SimComm* comm = nullptr);
+
+  /// Weighted variant: rank boundaries equalize the sum of \p weight.
+  void partition_weighted(const std::function<int(const TreeOct<D>&)>& weight,
+                          SimComm* comm = nullptr);
+
+  std::uint64_t global_num_octants() const;
+
+  /// Concatenation of all ranks' leaves (global SFC order) — for tests,
+  /// examples and serial oracles.
+  std::vector<TreeOct<D>> gather() const;
+
+  /// Structural invariants: per-rank sorted linear arrays, ranges within
+  /// markers, and per-tree completeness of the union.
+  bool is_valid() const;
+
+  /// Recompute markers from the current first octants (used after balance
+  /// replaces the local arrays in place; ownership regions are unchanged).
+  void refresh_markers();
+
+ private:
+  void set_all(std::vector<TreeOct<D>> all, std::vector<std::size_t> counts,
+               SimComm* comm);
+
+  Connectivity<D> conn_;
+  std::vector<std::vector<TreeOct<D>>> local_;
+  std::vector<GlobalPos> marks_;  // size nranks + 1
+};
+
+/// Summary statistics of a forest, for reporting and regression checks.
+struct ForestStats {
+  std::uint64_t leaves = 0;
+  std::size_t min_per_rank = 0;
+  std::size_t max_per_rank = 0;
+  int min_level = 0;
+  int max_level_seen = 0;
+  double avg_level = 0.0;
+};
+
+template <int D>
+ForestStats forest_stats(const Forest<D>& f);
+
+/// Deterministic, partition-independent content checksum: two forests have
+/// the same checksum iff (with overwhelming probability) they hold the
+/// same leaves.  The p4est-style tool for cross-run regression checks.
+template <int D>
+std::uint64_t forest_checksum(const Forest<D>& f);
+
+/// Forest-level balance check across tree boundaries: every pair of leaves
+/// sharing a boundary object of codimension <= k — possibly in different
+/// trees — differs by at most one level.  O(N log N); a test oracle.
+template <int D>
+bool forest_is_balanced(const std::vector<TreeOct<D>>& leaves,
+                        const Connectivity<D>& conn, int k);
+
+/// Serial reference balance of a whole forest: per-tree subtree balance
+/// with transformed exterior constraints from neighboring trees, iterated
+/// to a fixed point.  The ground truth for the distributed pipeline.
+template <int D>
+std::vector<TreeOct<D>> forest_balance_serial(std::vector<TreeOct<D>> leaves,
+                                              const Connectivity<D>& conn,
+                                              int k);
+
+}  // namespace octbal

@@ -1,0 +1,127 @@
+#include "forest/ghost.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/balance_check.hpp"
+#include "core/linear.hpp"
+#include "core/neighborhood.hpp"
+
+namespace octbal {
+
+namespace {
+
+template <int D>
+struct WireGhost {
+  std::int32_t tree;
+  std::int32_t level;
+  std::array<coord_t, D> x;
+};
+
+/// Exact adjacency test of a candidate ghost \p g against any leaf of
+/// \p mine (per-tree views), across tree boundaries.
+template <int D>
+bool adjacent_to_any(const Connectivity<D>& conn, const TreeOct<D>& g, int k,
+                     const std::map<int, std::vector<Octant<D>>>& mine) {
+  for (const auto& off : balance_offsets<D>(k)) {
+    const auto nb = conn.neighbor(g.tree, g.oct, off);
+    if (!nb) continue;
+    const auto it = mine.find(nb->tree);
+    if (it == mine.end()) continue;
+    const auto [lo, hi] = overlapping_range(it->second, nb->oct);
+    for (std::size_t j = lo; j < hi; ++j) {
+      const Octant<D> m = nb->xform.apply(it->second[j]);
+      const int c = adjacency_codim(g.oct, m);
+      if (c >= 1 && c <= k) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+template <int D>
+GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
+                                NotifyAlgo notify_algo) {
+  const int P = f.num_ranks();
+  const auto& conn = f.connectivity();
+  GhostLayer<D> ghost;
+  ghost.per_rank.resize(P);
+  const CommStats stats0 = comm.stats();
+
+  // Sender side: my leaf o is a (conservative) ghost candidate for every
+  // rank owning part of a same-size neighbor piece of o.
+  std::vector<std::vector<std::vector<WireGhost<D>>>> send(P);
+  std::vector<std::vector<int>> receivers(P);
+  for (int r = 0; r < P; ++r) {
+    send[r].assign(P, {});
+    std::vector<std::size_t> last(P, static_cast<std::size_t>(-1));
+    const auto& mine = f.local(r);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      const auto& to = mine[i];
+      for (const auto& off : balance_offsets<D>(k)) {
+        const auto nb = conn.neighbor(to.tree, to.oct, off);
+        if (!nb) continue;
+        const GlobalPos lo{nb->tree, morton_key(nb->oct)};
+        const GlobalPos hi{nb->tree, morton_key(nb->oct) +
+                                         (morton_t{1} << (D * size_exp(nb->oct)))};
+        const auto [a, b] = f.owners_of(lo, hi);
+        for (int q = a; q <= b; ++q) {
+          if (q == r || f.marker(q) == f.marker(q + 1)) continue;
+          if (last[q] == i) continue;
+          last[q] = i;
+          send[r][q].push_back(WireGhost<D>{to.tree, to.oct.level, to.oct.x});
+        }
+      }
+    }
+    for (int q = 0; q < P; ++q) {
+      if (!send[r][q].empty()) receivers[r].push_back(q);
+    }
+  }
+
+  (void)notify(notify_algo, comm, receivers);
+
+  const CommStats pre = comm.stats();
+  for (int r = 0; r < P; ++r) {
+    for (int q = 0; q < P; ++q) {
+      if (send[r][q].empty()) continue;
+      comm.send_items<WireGhost<D>>(r, q,
+                                    std::span<const WireGhost<D>>(send[r][q]));
+    }
+  }
+  comm.deliver();
+
+  // Receiver side: exact filter against the rank's own leaves.
+  for (int r = 0; r < P; ++r) {
+    std::map<int, std::vector<Octant<D>>> mine;
+    for (const auto& to : f.local(r)) mine[to.tree].push_back(to.oct);
+    auto& out = ghost.per_rank[r];
+    for (const auto& m : comm.recv_all(r)) {
+      for (const auto& w : SimComm::decode_items<WireGhost<D>>(m)) {
+        TreeOct<D> g;
+        g.tree = w.tree;
+        g.oct.level = static_cast<level_t>(w.level);
+        g.oct.x = w.x;
+        if (!adjacent_to_any(conn, g, k, mine)) continue;
+        out.push_back(typename GhostLayer<D>::Entry{g, m.from});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.oct < b.oct; });
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  ghost.traffic.messages = comm.stats().messages - pre.messages;
+  ghost.traffic.bytes = comm.stats().bytes - pre.bytes;
+  (void)stats0;
+  return ghost;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                                \
+  template GhostLayer<D> build_ghost_layer<D>(const Forest<D>&, int,         \
+                                              SimComm&, NotifyAlgo);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

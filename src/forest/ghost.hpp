@@ -1,0 +1,38 @@
+#pragma once
+/// \file ghost.hpp
+/// \brief Ghost (halo) layer construction: for every rank, the remote
+/// leaves adjacent to its partition across the chosen balance condition's
+/// boundary objects.
+///
+/// Numerical codes built on 2:1-balanced forests need the neighboring
+/// remote elements to assemble operators near partition boundaries (the
+/// paper's motivation for balance in the first place).  Ghost exchange
+/// reuses the same machinery as the balance Query phase: same-size
+/// neighborhoods, cross-tree transforms and owner lookups, followed by a
+/// Notify-reversed exchange.
+
+#include "comm/notify.hpp"
+#include "forest/forest.hpp"
+
+namespace octbal {
+
+/// For each rank, the sorted list of remote leaves (with their owner rank)
+/// that share a boundary object of codimension <= k with one of the rank's
+/// own leaves.  Deterministic; self-entries never appear.
+template <int D>
+struct GhostLayer {
+  struct Entry {
+    TreeOct<D> oct;
+    int owner = 0;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  std::vector<std::vector<Entry>> per_rank;
+  CommStats traffic;  ///< exchange volume (excluding the notify step)
+};
+
+template <int D>
+GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
+                                NotifyAlgo notify_algo = NotifyAlgo::kNotify);
+
+}  // namespace octbal

@@ -1,0 +1,73 @@
+#include "forest/mesh.hpp"
+
+#include <algorithm>
+
+#include "core/balance_check.hpp"
+#include "core/linear.hpp"
+
+namespace octbal {
+
+template <int D>
+MeshStats analyze_mesh(const std::vector<TreeOct<D>>& leaves,
+                       const Connectivity<D>& conn) {
+  MeshStats s;
+  s.leaves = leaves.size();
+  std::vector<std::vector<Octant<D>>> per_tree(conn.num_trees());
+  for (const auto& to : leaves) per_tree[to.tree].push_back(to.oct);
+
+  for (const auto& to : leaves) {
+    for (int axis = 0; axis < D; ++axis) {
+      for (int dir : {-1, 1}) {
+        std::array<int, D> off{};
+        off[axis] = dir;
+        const auto nb = conn.neighbor(to.tree, to.oct, off);
+        if (!nb) {
+          ++s.boundary_faces;
+          continue;
+        }
+        // Leaves overlapping the same-size neighbor octant that actually
+        // touch this face.
+        const auto& other = per_tree[nb->tree];
+        const auto [lo, hi] = overlapping_range(other, nb->oct);
+        int best_jump = -1;
+        bool finer = false, coarser = false, equal = false;
+        for (std::size_t j = lo; j < hi; ++j) {
+          const Octant<D> m = nb->xform.apply(other[j]);
+          if (adjacency_codim(to.oct, m) != 1) continue;  // not this face
+          const int jump = std::abs(int(m.level) - int(to.oct.level));
+          best_jump = std::max(best_jump, jump);
+          if (m.level == to.oct.level) equal = true;
+          if (m.level > to.oct.level) finer = true;
+          if (m.level < to.oct.level) coarser = true;
+        }
+        if (best_jump < 0) {
+          // The neighbor region exists but no leaf shares this face — can
+          // only happen for malformed input; count as bad.
+          ++s.bad_faces;
+          continue;
+        }
+        s.max_face_level_jump = std::max(s.max_face_level_jump, best_jump);
+        if (best_jump >= 2) {
+          ++s.bad_faces;
+        } else if (finer) {
+          ++s.hanging_faces;  // T-intersection: 2^(D-1) smaller neighbors
+        } else if (equal) {
+          ++s.conforming_faces;
+        } else if (coarser) {
+          ++s.coarse_faces;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                         \
+  template MeshStats analyze_mesh<D>(const std::vector<TreeOct<D>>&,  \
+                                     const Connectivity<D>&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -1,0 +1,40 @@
+#pragma once
+/// \file mesh.hpp
+/// \brief Mesh-level analysis of a (balanced) forest: classify every face
+/// relation between leaves.
+///
+/// This is why numerical codes demand 2:1 balance (Figure 1 of the paper):
+/// after face balance, a T-intersection occurs at most once per face, so a
+/// discretization needs interpolation operators for exactly one hanging
+/// configuration.  analyze_mesh() counts conforming, hanging and boundary
+/// faces and records the worst level jump seen across any face — 1 for a
+/// balanced forest, arbitrarily large otherwise.
+
+#include <cstdint>
+
+#include "forest/forest.hpp"
+
+namespace octbal {
+
+struct MeshStats {
+  std::uint64_t leaves = 0;
+  std::uint64_t conforming_faces = 0;  ///< equal-size neighbor
+  std::uint64_t hanging_faces = 0;     ///< neighbor one level finer (T-face)
+  std::uint64_t coarse_faces = 0;      ///< neighbor one level coarser
+  std::uint64_t boundary_faces = 0;    ///< no neighbor (domain boundary)
+  std::uint64_t bad_faces = 0;         ///< level jump >= 2 (unbalanced!)
+  int max_face_level_jump = 0;         ///< worst |level difference| seen
+
+  std::uint64_t total_faces() const {
+    return conforming_faces + hanging_faces + coarse_faces + boundary_faces +
+           bad_faces;
+  }
+};
+
+/// Classify every (leaf, face direction) incidence of the forest.  Each
+/// face of each leaf is counted once from that leaf's side.
+template <int D>
+MeshStats analyze_mesh(const std::vector<TreeOct<D>>& leaves,
+                       const Connectivity<D>& conn);
+
+}  // namespace octbal

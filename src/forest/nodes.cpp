@@ -1,0 +1,299 @@
+#include "forest/nodes.hpp"
+
+#include <map>
+
+#include "core/linear.hpp"
+#include "core/search.hpp"
+#include "forest/forest.hpp"
+
+namespace octbal {
+
+namespace {
+
+template <int D>
+using GlobalCoord = std::array<std::int64_t, D>;
+
+/// The extent of the whole brick domain per axis, in finest-cell units.
+template <int D>
+GlobalCoord<D> domain_extent(const Connectivity<D>& conn) {
+  GlobalCoord<D> e{};
+  for (int i = 0; i < D; ++i) {
+    e[i] = static_cast<std::int64_t>(conn.dims()[i]) * root_len<D>;
+  }
+  return e;
+}
+
+/// Wrap periodic axes; returns false if the coordinate leaves the domain
+/// in a non-periodic direction.  \p upper_ok allows the closed upper bound
+/// (node coordinates live on [0, extent]).
+template <int D>
+bool canonicalize(const Connectivity<D>& conn, const GlobalCoord<D>& ext,
+                  GlobalCoord<D>& g, bool upper_ok) {
+  for (int i = 0; i < D; ++i) {
+    if (conn.periodic()[i]) {
+      g[i] = ((g[i] % ext[i]) + ext[i]) % ext[i];
+    } else if (g[i] < 0 || g[i] > ext[i] || (!upper_ok && g[i] == ext[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+/// General-connectivity node key: the canonical representative of the
+/// node's orbit under all face identifications reachable from (tree,
+/// coords).  Node coordinates live on the closed cube [0, R]^D; a node on
+/// a glued face also exists in the neighbor's frame, and corner nodes can
+/// reach several frames by composing crossings.
+template <int D>
+struct GeneralNodeKey {
+  std::int32_t tree;
+  std::array<coord_t, D> x;
+
+  friend bool operator==(const GeneralNodeKey&, const GeneralNodeKey&) =
+      default;
+  friend bool operator<(const GeneralNodeKey& a, const GeneralNodeKey& b) {
+    if (a.tree != b.tree) return a.tree < b.tree;
+    return a.x < b.x;
+  }
+};
+
+/// The orbit of a node of a *general* connectivity under all reachable
+/// face identifications: a node on a glued face also exists in the
+/// neighbor's frame; corner nodes reach several frames by composing
+/// crossings (the breadth-first walk closes the orbit).
+template <int D>
+std::vector<GeneralNodeKey<D>> node_orbit(const Connectivity<D>& conn,
+                                          std::int32_t tree,
+                                          const std::array<coord_t, D>& x) {
+  const coord_t R = root_len<D>;
+  std::vector<GeneralNodeKey<D>> orbit{GeneralNodeKey<D>{tree, x}};
+  for (std::size_t i = 0; i < orbit.size() && orbit.size() < 64; ++i) {
+    const GeneralNodeKey<D> cur = orbit[i];
+    for (int axis = 0; axis < D; ++axis) {
+      if (cur.x[axis] != 0 && cur.x[axis] != R) continue;
+      const int dir = cur.x[axis] == 0 ? -1 : 1;
+      // A finest-level interior cell touching the face with the node as
+      // one of its corners; its cross-face neighbor carries the node's
+      // image in the neighbor frame.
+      Octant<D> base;
+      base.level = max_level<D>;
+      for (int d = 0; d < D; ++d) {
+        base.x[d] = cur.x[d] == R ? R - 1 : cur.x[d];
+      }
+      base.x[axis] = dir > 0 ? R - 1 : 0;
+      std::array<int, D> off{};
+      off[axis] = dir;
+      const auto nb = conn.neighbor(static_cast<int>(cur.tree), base, off);
+      if (!nb) continue;
+      // Find the corner of the neighbor cell that maps onto the node:
+      // points transform as offset + sign * v (no side-length term).
+      for (int c = 0; c < num_children<D>; ++c) {
+        std::array<coord_t, D> corner{};
+        for (int d = 0; d < D; ++d) {
+          corner[d] = nb->oct.x[d] + (((c >> d) & 1) ? 1 : 0);
+        }
+        std::array<coord_t, D> img{};
+        for (int d = 0; d < D; ++d) {
+          const scoord_t v = corner[nb->xform.perm[d]];
+          img[d] = static_cast<coord_t>(nb->xform.sign[d] > 0
+                                            ? nb->xform.offset[d] + v
+                                            : nb->xform.offset[d] - v);
+        }
+        if (img == cur.x) {
+          const GeneralNodeKey<D> key{nb->tree, corner};
+          if (std::find(orbit.begin(), orbit.end(), key) == orbit.end()) {
+            orbit.push_back(key);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return orbit;
+}
+
+/// Node enumeration over a general connectivity: ids keyed by the orbit's
+/// canonical (smallest) member; a node hangs when any containing leaf, in
+/// any frame of the orbit, does not have it as a corner.
+template <int D>
+NodeNumbering enumerate_nodes_general(const std::vector<TreeOct<D>>& leaves,
+                                      const Connectivity<D>& conn) {
+  NodeNumbering nn;
+  const coord_t R = root_len<D>;
+  std::vector<std::vector<Octant<D>>> per_tree(conn.num_trees());
+  for (const auto& to : leaves) per_tree[to.tree].push_back(to.oct);
+
+  std::map<GeneralNodeKey<D>, std::int64_t> ids;
+  std::map<GeneralNodeKey<D>, std::vector<GeneralNodeKey<D>>> orbits;
+  nn.element_nodes.assign(leaves.size(), {});
+  for (std::size_t e = 0; e < leaves.size(); ++e) {
+    const std::int64_t h = side_len(leaves[e].oct);
+    for (int c = 0; c < num_children<D>; ++c) {
+      std::array<coord_t, D> x{};
+      for (int d = 0; d < D; ++d) {
+        x[d] = leaves[e].oct.x[d] + (((c >> d) & 1) ? h : 0);
+      }
+      auto orbit = node_orbit<D>(conn, leaves[e].tree, x);
+      const GeneralNodeKey<D> key =
+          *std::min_element(orbit.begin(), orbit.end());
+      const auto [it, fresh] =
+          ids.try_emplace(key, static_cast<std::int64_t>(ids.size()));
+      if (fresh) orbits.emplace(key, std::move(orbit));
+      nn.element_nodes[e][c] = it->second;
+    }
+  }
+  nn.num_nodes = ids.size();
+  nn.hanging.assign(nn.num_nodes, false);
+
+  for (const auto& [key, id] : ids) {
+    for (const GeneralNodeKey<D>& rep : orbits.at(key)) {
+      if (nn.hanging[id]) break;
+      for (int adj = 0; adj < num_children<D> && !nn.hanging[id]; ++adj) {
+        std::array<coord_t, D> cell = rep.x;
+        bool inside = true;
+        for (int d = 0; d < D; ++d) {
+          if ((adj >> d) & 1) cell[d] -= 1;
+          inside = inside && cell[d] >= 0 && cell[d] < R;
+        }
+        if (!inside) continue;
+        const std::size_t li =
+            find_containing_leaf<D>(per_tree[rep.tree], cell);
+        if (li == npos) continue;
+        const Octant<D>& m = per_tree[rep.tree][li];
+        const coord_t mh = side_len(m);
+        bool corner = true;
+        for (int d = 0; d < D; ++d) {
+          corner = corner &&
+                   (rep.x[d] == m.x[d] || rep.x[d] == m.x[d] + mh);
+        }
+        if (!corner) nn.hanging[id] = true;
+      }
+    }
+  }
+  for (std::uint64_t i = 0; i < nn.num_nodes; ++i) {
+    nn.num_independent += !nn.hanging[i];
+  }
+  return nn;
+}
+
+template <int D>
+NodeNumbering enumerate_nodes(const std::vector<TreeOct<D>>& leaves,
+                              const Connectivity<D>& conn) {
+  if (!conn.is_lattice()) return enumerate_nodes_general(leaves, conn);
+  NodeNumbering nn;
+  const GlobalCoord<D> ext = domain_extent(conn);
+
+  // Per-tree sorted leaf views for point location.
+  std::vector<std::vector<Octant<D>>> per_tree(conn.num_trees());
+  for (const auto& to : leaves) per_tree[to.tree].push_back(to.oct);
+
+  const auto global_anchor = [&](const TreeOct<D>& to) {
+    GlobalCoord<D> g{};
+    const auto tc = conn.tree_coords(to.tree);
+    for (int i = 0; i < D; ++i) {
+      g[i] = static_cast<std::int64_t>(tc[i]) * root_len<D> + to.oct.x[i];
+    }
+    return g;
+  };
+
+  // Pass 1: assign ids in order of first appearance along the curve.
+  std::map<GlobalCoord<D>, std::int64_t> ids;
+  nn.element_nodes.assign(leaves.size(), {});
+  for (std::size_t e = 0; e < leaves.size(); ++e) {
+    const GlobalCoord<D> a = global_anchor(leaves[e]);
+    const std::int64_t h = side_len(leaves[e].oct);
+    for (int c = 0; c < num_children<D>; ++c) {
+      GlobalCoord<D> g = a;
+      for (int i = 0; i < D; ++i) {
+        if ((c >> i) & 1) g[i] += h;
+      }
+      const bool ok = canonicalize<D>(conn, ext, g, true);
+      assert(ok);
+      (void)ok;
+      const auto [it, fresh] =
+          ids.try_emplace(g, static_cast<std::int64_t>(ids.size()));
+      (void)fresh;
+      nn.element_nodes[e][c] = it->second;
+    }
+  }
+  nn.num_nodes = ids.size();
+  nn.hanging.assign(nn.num_nodes, false);
+
+  // Pass 2: a node hangs if some containing leaf does not have it as a
+  // corner (it then lies in the interior of that leaf's face or edge).
+  for (const auto& [node, id] : ids) {
+    for (int adj = 0; adj < num_children<D> && !nn.hanging[id]; ++adj) {
+      // The finest-level cell on the (-adj) side of the node.
+      GlobalCoord<D> cell = node;
+      for (int i = 0; i < D; ++i) {
+        if ((adj >> i) & 1) cell[i] -= 1;
+      }
+      GlobalCoord<D> canon = cell;
+      if (!canonicalize<D>(conn, ext, canon, false)) continue;
+      // Map to (tree, local anchor) and locate the containing leaf.
+      std::array<int, D> tc{};
+      std::array<coord_t, D> local{};
+      for (int i = 0; i < D; ++i) {
+        tc[i] = static_cast<int>(canon[i] / root_len<D>);
+        local[i] = static_cast<coord_t>(canon[i] % root_len<D>);
+      }
+      const int tree = conn.tree_index(tc);
+      const std::size_t li = find_containing_leaf<D>(per_tree[tree], local);
+      if (li == npos) continue;  // malformed input; tolerated here
+      const TreeOct<D> m{tree, per_tree[tree][li]};
+      // Corner test: does any canonicalized corner of m equal the node?
+      const GlobalCoord<D> ma = global_anchor(m);
+      const std::int64_t mh = side_len(m.oct);
+      bool corner = false;
+      for (int c = 0; c < num_children<D> && !corner; ++c) {
+        GlobalCoord<D> g = ma;
+        for (int i = 0; i < D; ++i) {
+          if ((c >> i) & 1) g[i] += mh;
+        }
+        if (canonicalize<D>(conn, ext, g, true) && g == node) corner = true;
+      }
+      if (!corner) nn.hanging[id] = true;
+    }
+  }
+  for (std::uint64_t i = 0; i < nn.num_nodes; ++i) {
+    nn.num_independent += !nn.hanging[i];
+  }
+  return nn;
+}
+
+template <int D>
+NodeOwnership assign_node_owners(const Forest<D>& f, const NodeNumbering& nn) {
+  NodeOwnership no;
+  no.owner.assign(nn.num_nodes, f.num_ranks());
+  no.nodes_per_rank.assign(f.num_ranks(), 0);
+  // Element order in nn.element_nodes is the gather order: rank-major.
+  std::size_t e = 0;
+  for (int r = 0; r < f.num_ranks(); ++r) {
+    for (std::size_t i = 0; i < f.local(r).size(); ++i, ++e) {
+      for (int c = 0; c < num_children<D>; ++c) {
+        const std::int64_t id = nn.element_nodes[e][c];
+        no.owner[id] = std::min(no.owner[id], r);
+      }
+    }
+  }
+  assert(e == nn.element_nodes.size());
+  for (const int r : no.owner) {
+    assert(r < f.num_ranks());
+    ++no.nodes_per_rank[r];
+  }
+  return no;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                         \
+  template NodeNumbering enumerate_nodes<D>(                          \
+      const std::vector<TreeOct<D>>&, const Connectivity<D>&);        \
+  template NodeOwnership assign_node_owners<D>(const Forest<D>&,      \
+                                               const NodeNumbering&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -1,0 +1,59 @@
+#pragma once
+/// \file nodes.hpp
+/// \brief Global enumeration of corner nodes on a balanced forest, with
+/// hanging-node classification.
+///
+/// The paper lists "enumerating nodes" among the frequent octree-based
+/// mesh operations, and 2:1 balance exists largely so that this step stays
+/// simple: continuous finite elements need one global index per mesh
+/// vertex, where vertices shared between leaves coincide, and vertices
+/// that lie in the middle of a coarser neighbor's face or edge are
+/// *hanging* — their value is interpolated, not independent.  Under k >= 1
+/// balance every hanging vertex sits at the midpoint of exactly one
+/// coarser face (or edge in 3D), which is what makes a single set of
+/// interpolation operators sufficient (Figure 1).
+///
+/// This is the serial (gathered) version: deterministic global numbering
+/// in the order node coordinates first appear along the space-filling
+/// curve.
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/forest.hpp"
+
+namespace octbal {
+
+struct NodeNumbering {
+  /// Global number of distinct node coordinates.
+  std::uint64_t num_nodes = 0;
+  /// num independent (non-hanging) nodes.
+  std::uint64_t num_independent = 0;
+  /// For each leaf (in the order given), its 2^D corner node ids in
+  /// z-order.
+  std::vector<std::array<std::int64_t, 8>> element_nodes;
+  /// Per node id: true if the node hangs on a coarser neighbor.
+  std::vector<bool> hanging;
+};
+
+/// Enumerate the corner nodes of a *face-balanced* forest.  Nodes on
+/// periodic boundaries are identified across the wrap; nodes shared across
+/// tree faces are identified through the lattice embedding (bricks) or the
+/// face-gluing orbit (general connectivities).
+template <int D>
+NodeNumbering enumerate_nodes(const std::vector<TreeOct<D>>& leaves,
+                              const Connectivity<D>& conn);
+
+/// Rank ownership of nodes, for distributed degree-of-freedom numbering:
+/// each node is owned by the lowest rank holding a leaf that touches it
+/// (the deterministic convention distributed FEM codes use to assign
+/// shared degrees of freedom).
+struct NodeOwnership {
+  std::vector<int> owner;                   ///< per node id
+  std::vector<std::uint64_t> nodes_per_rank;
+};
+
+template <int D>
+NodeOwnership assign_node_owners(const Forest<D>& f, const NodeNumbering& nn);
+
+}  // namespace octbal

@@ -1,0 +1,44 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace octbal {
+
+Cli::Cli(int argc, char** argv) : program_(argc > 0 ? argv[0] : "") {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return kv_.count(name) > 0; }
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = kv_.find(name);
+  if (it == kv_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = kv_.find(name);
+  if (it == kv_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& def) const {
+  const auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  return it->second;
+}
+
+}  // namespace octbal

@@ -1,0 +1,30 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal command-line flag parsing for the examples and benchmark
+/// harnesses: `--name value` and `--flag` forms, with typed lookups and
+/// defaults.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace octbal {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace octbal

@@ -1,0 +1,104 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+#include "core/linear.hpp"
+
+namespace octbal {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& z) {
+  z += 0x9e3779b97f4a7c15ull;
+  std::uint64_t r = z;
+  r = (r ^ (r >> 30)) * 0xbf58476d1ce4e5b9ull;
+  r = (r ^ (r >> 27)) * 0x94d049bb133111ebull;
+  return r ^ (r >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+template <int D>
+Octant<D> random_octant(Rng& rng, const Octant<D>& domain, int max_lvl) {
+  assert(max_lvl >= domain.level && max_lvl <= max_level<D>);
+  const int lvl =
+      domain.level + static_cast<int>(rng.below(max_lvl - domain.level + 1));
+  Octant<D> o;
+  o.level = static_cast<level_t>(lvl);
+  const coord_t h = coord_t{1} << (max_level<D> - lvl);
+  const coord_t cells = side_len(domain) / h;
+  for (int i = 0; i < D; ++i) {
+    o.x[i] = domain.x[i] + h * static_cast<coord_t>(rng.below(cells));
+  }
+  return o;
+}
+
+template <int D>
+std::vector<Octant<D>> random_complete_tree(Rng& rng, const Octant<D>& domain,
+                                            int max_lvl,
+                                            std::size_t target_leaves) {
+  std::vector<Octant<D>> t{domain};
+  while (t.size() < target_leaves) {
+    const std::size_t i = rng.below(t.size());
+    if (t[i].level >= max_lvl) {
+      // Try to find any splittable leaf; give up if there is none.
+      bool found = false;
+      for (const Octant<D>& o : t) {
+        if (o.level < max_lvl) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      continue;
+    }
+    const Octant<D> p = t[i];
+    t[i] = child(p, 0);
+    for (int c = 1; c < num_children<D>; ++c) t.push_back(child(p, c));
+  }
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+template <int D>
+std::vector<Octant<D>> random_linear_set(Rng& rng, const Octant<D>& domain,
+                                         int max_lvl, std::size_t n) {
+  std::vector<Octant<D>> s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s.push_back(random_octant(rng, domain, max_lvl));
+  linearize(s);
+  return s;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                             \
+  template Octant<D> random_octant<D>(Rng&, const Octant<D>&, int);       \
+  template std::vector<Octant<D>> random_complete_tree<D>(                \
+      Rng&, const Octant<D>&, int, std::size_t);                          \
+  template std::vector<Octant<D>> random_linear_set<D>(Rng&,              \
+                                                       const Octant<D>&,  \
+                                                       int, std::size_t);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -1,0 +1,52 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic xoshiro256** RNG and random octant/octree helpers
+/// used by tests, benchmarks and examples.  Deterministic seeding keeps
+/// every experiment reproducible run-to-run.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/octant.hpp"
+
+namespace octbal {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, deterministic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// A random valid octant inside \p domain with level in
+/// [domain.level, max_lvl].
+template <int D>
+Octant<D> random_octant(Rng& rng, const Octant<D>& domain, int max_lvl);
+
+/// A random complete linear octree of \p domain: starting from the domain,
+/// repeatedly split a random leaf until \p target_leaves is reached or all
+/// leaves hit \p max_lvl.
+template <int D>
+std::vector<Octant<D>> random_complete_tree(Rng& rng, const Octant<D>& domain,
+                                            int max_lvl,
+                                            std::size_t target_leaves);
+
+/// A random *incomplete* linear octant set in \p domain (for seed-style
+/// inputs): n random octants, linearized.
+template <int D>
+std::vector<Octant<D>> random_linear_set(Rng& rng, const Octant<D>& domain,
+                                         int max_lvl, std::size_t n);
+
+}  // namespace octbal

@@ -1,0 +1,73 @@
+#include "util/svg.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace octbal {
+
+namespace {
+
+/// A colorblind-friendly ramp indexed by level (wraps around).
+const char* kLevelColors[] = {"#f7fbff", "#deebf7", "#c6dbef", "#9ecae1",
+                              "#6baed6", "#4292c6", "#2171b5", "#08519c",
+                              "#08306b", "#041f47"};
+constexpr int kNumColors = 10;
+
+void append_rect(std::string& out, double x, double y, double w, double h,
+                 const char* fill, const char* stroke, double stroke_w) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" "
+                "fill=\"%s\" stroke=\"%s\" stroke-width=\"%.2f\"/>\n",
+                x, y, w, h, fill, stroke, stroke_w);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_svg(const std::vector<TreeOct<2>>& leaves,
+                       const Connectivity<2>& conn, const SvgOptions& opt) {
+  const auto dims = conn.dims();
+  const double W = opt.px_per_tree * dims[0];
+  const double H = opt.px_per_tree * dims[1];
+  std::string out;
+  char hdr[256];
+  std::snprintf(hdr, sizeof(hdr),
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+                "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+                W, H, W, H);
+  out += hdr;
+  const double scale = opt.px_per_tree / static_cast<double>(root_len<2>);
+  for (const auto& to : leaves) {
+    const auto tc = conn.tree_coords(to.tree);
+    const double x = tc[0] * opt.px_per_tree + to.oct.x[0] * scale;
+    // SVG y grows downward; flip so the forest reads like the figures.
+    const double side = side_len(to.oct) * scale;
+    const double y =
+        H - (tc[1] * opt.px_per_tree + to.oct.x[1] * scale) - side;
+    const char* fill =
+        opt.color_by_level ? kLevelColors[to.oct.level % kNumColors] : "none";
+    const bool hl = opt.highlight_level == to.oct.level;
+    append_rect(out, x, y, side, side, fill, hl ? "#cc0000" : "#333333",
+                hl ? 1.5 : 0.5);
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+std::string render_svg(const std::vector<Octant<2>>& leaves,
+                       const SvgOptions& opt) {
+  std::vector<TreeOct<2>> tl;
+  tl.reserve(leaves.size());
+  for (const auto& o : leaves) tl.push_back(TreeOct<2>{0, o});
+  return render_svg(tl, Connectivity<2>::unitcube(), opt);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace octbal

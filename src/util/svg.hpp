@@ -1,0 +1,32 @@
+#pragma once
+/// \file svg.hpp
+/// \brief SVG rendering of 2D quadtree forests, for the Figure 1/3-style
+/// pictures in the examples (mesh before/after balance, Tk(o) ripples).
+
+#include <string>
+#include <vector>
+
+#include "forest/connectivity.hpp"
+
+namespace octbal {
+
+struct SvgOptions {
+  double px_per_tree = 256.0;  ///< pixels per tree side
+  bool color_by_level = true;  ///< fill octants by refinement level
+  int highlight_level = -1;    ///< outline octants of this level in red
+};
+
+/// Render a 2D forest (sorted leaves, brick connectivity) into an SVG
+/// string.  Trees are laid out per their lattice coordinates.
+std::string render_svg(const std::vector<TreeOct<2>>& leaves,
+                       const Connectivity<2>& conn,
+                       const SvgOptions& opt = {});
+
+/// Render a single-tree 2D octree (convenience overload).
+std::string render_svg(const std::vector<Octant<2>>& leaves,
+                       const SvgOptions& opt = {});
+
+/// Write a string to a file; returns false on I/O error.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace octbal

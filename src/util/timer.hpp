@@ -1,0 +1,26 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock stopwatch used for phase timings in the distributed
+/// balance pipeline and the benchmark harnesses.
+
+#include <chrono>
+
+namespace octbal {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace octbal

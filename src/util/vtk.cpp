@@ -1,0 +1,107 @@
+#include "util/vtk.hpp"
+
+#include <cstdio>
+
+#include "util/svg.hpp"  // write_file
+
+namespace octbal {
+
+namespace {
+
+/// VTK cell types: quad = 9, hexahedron = 12, line = 3.
+constexpr int vtk_cell_type(int d) { return d == 3 ? 12 : (d == 2 ? 9 : 3); }
+
+/// VTK corner orderings differ from z-order: quads and hexahedra are
+/// listed counterclockwise per face.
+constexpr int kQuadOrder[4] = {0, 1, 3, 2};
+constexpr int kHexOrder[8] = {0, 1, 3, 2, 4, 5, 7, 6};
+
+template <int D>
+void append_cell_points(const Forest<D>& f, const TreeOct<D>& to,
+                        std::string& out) {
+  const auto tc = f.connectivity().tree_coords(to.tree);
+  const double scale = 1.0 / static_cast<double>(root_len<D>);
+  const double h = side_len(to.oct) * scale;
+  char buf[128];
+  for (int c = 0; c < num_children<D>; ++c) {
+    const int corner = D == 3 ? kHexOrder[c] : (D == 2 ? kQuadOrder[c] : c);
+    double p[3] = {0, 0, 0};
+    for (int i = 0; i < D; ++i) {
+      p[i] = tc[i] + to.oct.x[i] * scale + (((corner >> i) & 1) ? h : 0.0);
+    }
+    std::snprintf(buf, sizeof(buf), "%.9g %.9g %.9g\n", p[0], p[1], p[2]);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+template <int D>
+std::string to_vtk(const Forest<D>& f) {
+  const std::uint64_t n = f.global_num_octants();
+  const int nc = num_children<D>;
+  std::string out;
+  out.reserve(n * nc * 24);
+  out += "# vtk DataFile Version 3.0\noctbal forest\nASCII\n";
+  out += "DATASET UNSTRUCTURED_GRID\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "POINTS %llu double\n",
+                static_cast<unsigned long long>(n * nc));
+  out += buf;
+  for (int r = 0; r < f.num_ranks(); ++r) {
+    for (const auto& to : f.local(r)) append_cell_points(f, to, out);
+  }
+  std::snprintf(buf, sizeof(buf), "CELLS %llu %llu\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(n * (nc + 1)));
+  out += buf;
+  std::uint64_t pt = 0;
+  for (std::uint64_t c = 0; c < n; ++c) {
+    out += std::to_string(nc);
+    for (int i = 0; i < nc; ++i) {
+      out += ' ';
+      out += std::to_string(pt++);
+    }
+    out += '\n';
+  }
+  std::snprintf(buf, sizeof(buf), "CELL_TYPES %llu\n",
+                static_cast<unsigned long long>(n));
+  out += buf;
+  for (std::uint64_t c = 0; c < n; ++c) {
+    out += std::to_string(vtk_cell_type(D));
+    out += '\n';
+  }
+  std::snprintf(buf, sizeof(buf), "CELL_DATA %llu\nSCALARS level int 1\n"
+                                  "LOOKUP_TABLE default\n",
+                static_cast<unsigned long long>(n));
+  out += buf;
+  for (int r = 0; r < f.num_ranks(); ++r) {
+    for (const auto& to : f.local(r)) {
+      out += std::to_string(static_cast<int>(to.oct.level));
+      out += '\n';
+    }
+  }
+  out += "SCALARS rank int 1\nLOOKUP_TABLE default\n";
+  for (int r = 0; r < f.num_ranks(); ++r) {
+    for (std::size_t i = 0; i < f.local(r).size(); ++i) {
+      out += std::to_string(r);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+template <int D>
+bool write_vtk(const Forest<D>& f, const std::string& path) {
+  return write_file(path, to_vtk(f));
+}
+
+#define OCTBAL_INSTANTIATE(D)                                \
+  template std::string to_vtk<D>(const Forest<D>&);          \
+  template bool write_vtk<D>(const Forest<D>&, const std::string&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -1,0 +1,23 @@
+#pragma once
+/// \file vtk.hpp
+/// \brief Legacy-VTK output of forests (2D and 3D) for ParaView/VisIt:
+/// one hexahedron (quad in 2D) per leaf, with level and owner rank as cell
+/// data.  This is how downstream users inspect adapted meshes like the
+/// paper's Figure 16.
+
+#include <string>
+
+#include "forest/forest.hpp"
+
+namespace octbal {
+
+/// Serialize the whole forest as an unstructured grid in legacy VTK ASCII
+/// format.  Cell data arrays: "level" and "rank".
+template <int D>
+std::string to_vtk(const Forest<D>& f);
+
+/// Convenience: write straight to a file; returns false on I/O error.
+template <int D>
+bool write_vtk(const Forest<D>& f, const std::string& path);
+
+}  // namespace octbal

@@ -1,0 +1,126 @@
+#include "workload/workloads.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace octbal {
+
+template <int D>
+void fractal_refine(Forest<D>& f, int lmax) {
+  f.refine(
+      [lmax](const TreeOct<D>& to) {
+        if (to.oct.level >= lmax || to.oct.level == 0) return false;
+        const int id = child_id(to.oct);
+        if constexpr (D == 3) {
+          return id == 0 || id == 3 || id == 5 || id == 6;
+        } else if constexpr (D == 2) {
+          return id == 0 || id == 3;
+        } else {
+          return id == 0;
+        }
+      },
+      true);
+}
+
+namespace {
+
+/// The synthetic coastline r(θ) with deterministic Fourier coefficients.
+class Coastline {
+ public:
+  explicit Coastline(const IceSheetParams& p) : p_(p) {
+    Rng rng(p.seed);
+    for (int j = 0; j < p.modes; ++j) {
+      amp_.push_back((rng.uniform() * 2 - 1) * p.amp / p.modes);
+      phase_.push_back(rng.uniform() * 2 * M_PI);
+    }
+  }
+
+  double radius_at(double theta) const {
+    double r = 1.0;
+    for (int j = 0; j < p_.modes; ++j) {
+      r += amp_[j] * std::cos((j + 2) * theta + phase_[j]);
+    }
+    return p_.radius * r;
+  }
+
+  /// Signed distance proxy: positive outside the coastline.
+  double side_of(double x, double y) const {
+    const double dx = x - 0.5, dy = y - 0.5;
+    const double rho = std::sqrt(dx * dx + dy * dy);
+    const double theta = std::atan2(dy, dx);
+    return rho - radius_at(theta);
+  }
+
+ private:
+  IceSheetParams p_;
+  std::vector<double> amp_;
+  std::vector<double> phase_;
+};
+
+}  // namespace
+
+template <int D>
+void icesheet_refine(Forest<D>& f, int lmax, const IceSheetParams& p) {
+  const Coastline coast(p);
+  const auto dims = f.connectivity().dims();
+  // Footprint normalization: map the x-y extent of the whole brick to the
+  // unit square.
+  const double fx = static_cast<double>(dims[0]) * root_len<D>;
+  const double fy = D >= 2 ? static_cast<double>(dims[1]) * root_len<D> : 1.0;
+  const double fz =
+      D >= 3 ? static_cast<double>(dims[2]) * root_len<D> : 1.0;
+
+  f.refine(
+      [&](const TreeOct<D>& to) {
+        if (to.oct.level >= lmax) return false;
+        const auto tc = f.connectivity().tree_coords(to.tree);
+        double x0 = (tc[0] * static_cast<double>(root_len<D>) + to.oct.x[0]) / fx;
+        double y0 = 0.5, z0 = 0.0;
+        const double hx = side_len(to.oct) / fx;
+        double hy = 0.0, hz = 0.0;
+        if constexpr (D >= 2) {
+          y0 = (tc[1] * static_cast<double>(root_len<D>) + to.oct.x[1]) / fy;
+          hy = side_len(to.oct) / fy;
+        }
+        if constexpr (D >= 3) {
+          z0 = (tc[2] * static_cast<double>(root_len<D>) + to.oct.x[2]) / fz;
+          hz = side_len(to.oct) / fz;
+        }
+        if (D >= 3 && z0 > p.zfrac) return false;  // above the grounded band
+        (void)hz;
+        // Refine when the corners of the x-y footprint of the octant do not
+        // agree on which side of the coastline they are (the cell straddles
+        // the grounding line).
+        int pos = 0, neg = 0;
+        for (int c = 0; c < 4; ++c) {
+          const double cx = x0 + ((c & 1) ? hx : 0.0);
+          const double cy = y0 + ((c & 2) ? hy : 0.0);
+          (coast.side_of(cx, cy) >= 0 ? pos : neg)++;
+        }
+        return pos > 0 && neg > 0;
+      },
+      true);
+}
+
+template <int D>
+std::map<int, std::uint64_t> level_histogram(const Forest<D>& f) {
+  std::map<int, std::uint64_t> h;
+  for (int r = 0; r < f.num_ranks(); ++r) {
+    for (const auto& to : f.local(r)) ++h[to.oct.level];
+  }
+  return h;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                       \
+  template void fractal_refine<D>(Forest<D>&, int);                 \
+  template void icesheet_refine<D>(Forest<D>&, int,                 \
+                                   const IceSheetParams&);          \
+  template std::map<int, std::uint64_t> level_histogram<D>(         \
+      const Forest<D>&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

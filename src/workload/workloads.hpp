@@ -1,0 +1,42 @@
+#pragma once
+/// \file workloads.hpp
+/// \brief The two mesh workloads of the paper's evaluation (Section VI):
+/// the fractal refinement rule of the weak-scaling study (Figure 15) and a
+/// synthetic stand-in for the Antarctica ice-sheet mesh of the strong-
+/// scaling study (Figures 16/17) — see the substitution table in DESIGN.md.
+
+#include <cstdint>
+#include <map>
+
+#include "forest/forest.hpp"
+
+namespace octbal {
+
+/// The Figure 15 rule: recursively split every octant whose child
+/// identifier belongs to a fixed subset ({0,3,5,6} in 3D; the diagonal pair
+/// {0,3} in 2D) until \p lmax, producing a fractal mesh whose level spread
+/// equals lmax - (initial level).
+template <int D>
+void fractal_refine(Forest<D>& f, int lmax);
+
+/// Parameters of the synthetic grounding line: a closed radial curve
+/// r(θ) = R·(1 + amp·Σ cos(jθ+φj)) in the forest's x-y footprint.  Octants
+/// crossing the curve (and, in 3D, lying near the base of the sheet,
+/// z < zfrac) are refined to \p lmax — reproducing the highly graded,
+/// codimension-one-concentrated refinement of the Antarctica mesh.
+struct IceSheetParams {
+  int modes = 7;          ///< number of Fourier modes in the coastline
+  double amp = 0.35;      ///< total relative amplitude of the wiggles
+  double radius = 0.31;   ///< base radius, relative to the footprint size
+  double zfrac = 0.25;    ///< 3D only: grounded-ice band height fraction
+  std::uint64_t seed = 2012;
+};
+
+template <int D>
+void icesheet_refine(Forest<D>& f, int lmax, const IceSheetParams& p = {});
+
+/// Octant count per level across the whole forest.
+template <int D>
+std::map<int, std::uint64_t> level_histogram(const Forest<D>& f);
+
+}  // namespace octbal

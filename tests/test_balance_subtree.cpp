@@ -1,0 +1,210 @@
+/// \file test_balance_subtree.cpp
+/// \brief The central correctness tests of Section III: both subtree
+/// balance algorithms must reproduce the ripple oracle exactly — on
+/// complete and incomplete inputs, in 1D/2D/3D, for every balance
+/// condition k — and the new algorithm must beat the old one on the
+/// operation counts the paper claims.
+
+#include <gtest/gtest.h>
+
+#include "core/balance_check.hpp"
+#include "core/balance_subtree.hpp"
+#include "core/linear.hpp"
+#include "core/ripple.hpp"
+#include "util/rng.hpp"
+
+namespace octbal {
+namespace {
+
+template <typename T>
+class SubtreeTest : public ::testing::Test {};
+template <int N>
+struct Dim {
+  static constexpr int d = N;
+};
+using Dims = ::testing::Types<Dim<1>, Dim<2>, Dim<3>>;
+TYPED_TEST_SUITE(SubtreeTest, Dims);
+
+TYPED_TEST(SubtreeTest, BalancedInputIsAFixedPoint) {
+  constexpr int D = TypeParam::d;
+  const auto root = root_octant<D>();
+  // A uniformly refined tree is trivially balanced: both algorithms must
+  // return it unchanged.
+  std::vector<Octant<D>> t{root};
+  for (int lvl = 0; lvl < 2; ++lvl) {
+    std::vector<Octant<D>> next;
+    for (const auto& o : t)
+      for (int c = 0; c < num_children<D>; ++c) next.push_back(child(o, c));
+    t = next;
+  }
+  std::sort(t.begin(), t.end());
+  for (int k = 1; k <= D; ++k) {
+    EXPECT_EQ(balance_subtree_old(t, k, root), t);
+    EXPECT_EQ(balance_subtree_new(t, k, root), t);
+  }
+}
+
+TYPED_TEST(SubtreeTest, MatchesRippleOracleOnRandomCompleteTrees) {
+  constexpr int D = TypeParam::d;
+  Rng rng(51);
+  const auto root = root_octant<D>();
+  const int max_lvl = D == 3 ? 4 : 5;
+  for (int iter = 0; iter < (D == 3 ? 10 : 25); ++iter) {
+    const auto s = random_complete_tree(rng, root, max_lvl, D == 3 ? 60 : 80);
+    for (int k = 1; k <= D; ++k) {
+      const auto want = ripple_balance(s, k, root);
+      const auto got_old = balance_subtree_old(s, k, root);
+      const auto got_new = balance_subtree_new(s, k, root);
+      EXPECT_EQ(got_old, want) << "old algorithm, k=" << k << " iter=" << iter;
+      EXPECT_EQ(got_new, want) << "new algorithm, k=" << k << " iter=" << iter;
+    }
+  }
+}
+
+TYPED_TEST(SubtreeTest, MatchesRippleOracleOnIncompleteInputs) {
+  constexpr int D = TypeParam::d;
+  Rng rng(52);
+  const auto root = root_octant<D>();
+  const int max_lvl = D == 3 ? 4 : 5;
+  for (int iter = 0; iter < (D == 3 ? 10 : 25); ++iter) {
+    const auto s = random_linear_set(rng, root, max_lvl, 12);
+    if (s.empty()) continue;
+    for (int k = 1; k <= D; ++k) {
+      const auto want = ripple_balance(s, k, root);
+      EXPECT_EQ(balance_subtree_old(s, k, root), want)
+          << "old, k=" << k << " iter=" << iter;
+      EXPECT_EQ(balance_subtree_new(s, k, root), want)
+          << "new, k=" << k << " iter=" << iter;
+    }
+  }
+}
+
+TYPED_TEST(SubtreeTest, OutputIsBalancedCompleteLinear) {
+  constexpr int D = TypeParam::d;
+  Rng rng(53);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto s = random_linear_set(rng, root, D == 3 ? 5 : 7, 25);
+    if (s.empty()) continue;
+    for (int k = 1; k <= D; ++k) {
+      const auto out = balance_subtree_new(s, k, root);
+      EXPECT_TRUE(is_linear(out));
+      EXPECT_TRUE(is_complete(out, root));
+      Octant<D> a, b;
+      EXPECT_FALSE(find_violation(out, k, root, &a, &b))
+          << to_string(a) << " vs " << to_string(b) << " k=" << k;
+      // Inputs survive as leaves (inputs here are mutually balanced or get
+      // refined; either way each input region is covered at >= its level).
+      for (const auto& o : s) {
+        const auto [lo, hi] = overlapping_range(out, o);
+        ASSERT_LT(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) {
+          EXPECT_GE(out[i].level, o.level) << "input " << to_string(o)
+                                           << " was coarsened";
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(SubtreeTest, ResultIsCoarsest) {
+  constexpr int D = TypeParam::d;
+  Rng rng(54);
+  const auto root = root_octant<D>();
+  // Coarsening any complete family that is not required by the input makes
+  // the tree either unbalanced or drops an input leaf.
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto s = random_linear_set(rng, root, D == 3 ? 4 : 5, 8);
+    if (s.empty()) continue;
+    const int k = 1 + iter % D;
+    const auto out = balance_subtree_new(s, k, root);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].level == 0 || child_id(out[i]) != 0) continue;
+      bool fam = true;
+      for (int c = 1; c < num_children<D>; ++c) {
+        if (i + c >= out.size() || out[i + c] != sibling(out[i], c)) {
+          fam = false;
+          break;
+        }
+      }
+      if (!fam) continue;
+      // Replace the family by its parent and check something breaks.
+      std::vector<Octant<D>> coarser;
+      coarser.reserve(out.size());
+      for (std::size_t j = 0; j < i; ++j) coarser.push_back(out[j]);
+      coarser.push_back(parent(out[i]));
+      for (std::size_t j = i + num_children<D>; j < out.size(); ++j)
+        coarser.push_back(out[j]);
+      // Only a *strict* ancestor of an input octant drops that input leaf;
+      // if the parent equals an input, coarsening restores it.
+      bool drops_input = false;
+      for (const auto& o : s) {
+        if (is_ancestor(parent(out[i]), o)) {
+          drops_input = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(drops_input || !is_balanced(coarser, k, root))
+          << "family of " << to_string(out[i])
+          << " could be coarsened without breaking anything, k=" << k;
+    }
+  }
+}
+
+TYPED_TEST(SubtreeTest, SingleDeepOctantProducesRippleProfile) {
+  constexpr int D = TypeParam::d;
+  const auto root = root_octant<D>();
+  // Balancing a single deep octant yields exactly Tk(o) (Figure 3).
+  auto o = root;
+  for (int i = 0; i < (D == 3 ? 4 : 6); ++i) o = child(o, i % num_children<D>);
+  for (int k = 1; k <= D; ++k) {
+    const auto want = tk_of(o, k, root);
+    EXPECT_EQ(balance_subtree_old({o}, k, root), want);
+    EXPECT_EQ(balance_subtree_new({o}, k, root), want);
+  }
+}
+
+TYPED_TEST(SubtreeTest, NewUsesFewerHashQueriesAndSmallerSort) {
+  constexpr int D = TypeParam::d;
+  Rng rng(55);
+  const auto root = root_octant<D>();
+  const auto s = random_complete_tree(rng, root, D == 3 ? 4 : 6, 500);
+  SubtreeBalanceStats so, sn;
+  balance_subtree_old(s, D, root, &so);
+  balance_subtree_new(s, D, root, &sn);
+  EXPECT_LT(sn.hash_queries, so.hash_queries);
+  EXPECT_LT(sn.sorted_octants, so.sorted_octants);
+  EXPECT_EQ(sn.output_octants, so.output_octants);
+}
+
+TYPED_TEST(SubtreeTest, SubtreeRootOtherThanGlobalRoot) {
+  constexpr int D = TypeParam::d;
+  Rng rng(56);
+  const auto sub = child(child(root_octant<D>(), num_children<D> - 1), 0);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto s = random_linear_set(rng, sub, D == 3 ? 6 : 7, 10);
+    if (s.empty()) continue;
+    for (int k = 1; k <= D; ++k) {
+      const auto want = ripple_balance(s, k, sub);
+      EXPECT_EQ(balance_subtree_old(s, k, sub), want);
+      EXPECT_EQ(balance_subtree_new(s, k, sub), want);
+    }
+  }
+}
+
+TEST(SubtreeEdge, RootOnlyInput) {
+  const auto root = root_octant<2>();
+  const std::vector<Oct2> s{root};
+  EXPECT_EQ(balance_subtree_old(s, 1, root), s);
+  EXPECT_EQ(balance_subtree_new(s, 1, root), s);
+}
+
+TEST(SubtreeEdge, EmptyInputCompletesToRoot) {
+  const auto root = root_octant<2>();
+  const std::vector<Oct2> s{};
+  const std::vector<Oct2> want{root};
+  EXPECT_EQ(balance_subtree_new(s, 1, root), want);
+}
+
+}  // namespace
+}  // namespace octbal

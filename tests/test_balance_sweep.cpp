@@ -1,0 +1,194 @@
+/// \file test_balance_sweep.cpp
+/// \brief Parameterized property sweep over the subtree balance algorithms:
+/// every (mesh family × size × dimension × balance condition × algorithm)
+/// combination must satisfy the balance postconditions, agree between old
+/// and new, and be idempotent.  This complements the oracle tests with
+/// broad coverage on mesh shapes the oracle would be too slow for.
+
+#include <gtest/gtest.h>
+
+#include "core/balance_check.hpp"
+#include "core/balance_subtree.hpp"
+#include "core/lambda.hpp"
+#include "core/linear.hpp"
+#include "util/rng.hpp"
+
+namespace octbal {
+namespace {
+
+enum Family {
+  kUniform,
+  kRandomTree,
+  kSparseSet,
+  kCornerChain,
+  kBoundaryStrip,
+  kTwoCorners,
+  kFamilyCount
+};
+
+const char* family_name(int f) {
+  switch (f) {
+    case kUniform: return "uniform";
+    case kRandomTree: return "random_tree";
+    case kSparseSet: return "sparse_set";
+    case kCornerChain: return "corner_chain";
+    case kBoundaryStrip: return "boundary_strip";
+    case kTwoCorners: return "two_corners";
+  }
+  return "?";
+}
+
+template <int D>
+std::vector<Octant<D>> make_family(int family, int size_class,
+                                   std::uint64_t seed) {
+  const auto root = root_octant<D>();
+  Rng rng(seed);
+  const int lmax = D == 3 ? 5 : 8;
+  const std::size_t n = size_class == 0 ? 60 : 600;
+  switch (family) {
+    case kUniform: {
+      std::vector<Octant<D>> t{root};
+      for (int l = 0; l < (size_class == 0 ? 2 : 3); ++l) {
+        std::vector<Octant<D>> next;
+        for (const auto& o : t)
+          for (int c = 0; c < num_children<D>; ++c) next.push_back(child(o, c));
+        t.swap(next);
+      }
+      std::sort(t.begin(), t.end());
+      return t;
+    }
+    case kRandomTree:
+      return random_complete_tree(rng, root, lmax, n);
+    case kSparseSet:
+      return random_linear_set(rng, root, lmax, n / 4);
+    case kCornerChain: {
+      std::vector<Octant<D>> leaves;
+      auto o = root;
+      for (int l = 0; l < lmax; ++l) {
+        for (int c = 1; c < num_children<D>; ++c)
+          leaves.push_back(child(o, c));
+        o = child(o, 0);
+      }
+      leaves.push_back(o);
+      std::sort(leaves.begin(), leaves.end());
+      return leaves;
+    }
+    case kBoundaryStrip: {
+      // Fine octants hugging the x = 0 face, coarse elsewhere (sparse).
+      std::vector<Octant<D>> s;
+      for (int i = 0; i < 12; ++i) {
+        auto o = random_octant(rng, root, lmax);
+        o.x[0] = 0;
+        s.push_back(o);
+      }
+      linearize(s);
+      return s;
+    }
+    case kTwoCorners: {
+      // Deep octants at opposite corners: maximal interaction distance.
+      std::vector<Octant<D>> s;
+      auto a = root, b = root;
+      for (int l = 0; l < lmax; ++l) {
+        a = child(a, 0);
+        b = child(b, num_children<D> - 1);
+      }
+      s.push_back(a);
+      s.push_back(b);
+      std::sort(s.begin(), s.end());
+      return s;
+    }
+  }
+  return {};
+}
+
+struct SweepParam {
+  int family;
+  int size_class;
+};
+
+class SubtreeSweep2D : public ::testing::TestWithParam<SweepParam> {};
+class SubtreeSweep3D : public ::testing::TestWithParam<SweepParam> {};
+
+template <int D>
+void run_sweep(const SweepParam& p) {
+  const auto root = root_octant<D>();
+  const auto s = make_family<D>(p.family, p.size_class, 97 + p.family);
+  if (s.empty()) GTEST_SKIP();
+  ASSERT_TRUE(is_linear(s)) << family_name(p.family);
+  for (int k = 1; k <= D; ++k) {
+    const auto out_new = balance_subtree_new(s, k, root);
+    const auto out_old = balance_subtree_old(s, k, root);
+    // Old and new agree exactly.
+    EXPECT_EQ(out_new, out_old) << family_name(p.family) << " k=" << k;
+    // Postconditions: complete, linear, balanced, refines the input.
+    EXPECT_TRUE(is_linear(out_new));
+    EXPECT_TRUE(is_complete(out_new, root));
+    Octant<D> a, b;
+    EXPECT_FALSE(find_violation(out_new, k, root, &a, &b))
+        << family_name(p.family) << " k=" << k << ": " << to_string(a)
+        << " vs " << to_string(b);
+    for (const auto& o : s) {
+      const auto [lo, hi] = overlapping_range(out_new, o);
+      ASSERT_LT(lo, hi);
+      for (std::size_t i = lo; i < hi; ++i) {
+        EXPECT_GE(out_new[i].level, o.level);
+      }
+    }
+    // Idempotence.
+    EXPECT_EQ(balance_subtree_new(out_new, k, root), out_new)
+        << family_name(p.family) << " k=" << k;
+  }
+}
+
+TEST_P(SubtreeSweep2D, PostconditionsHold) { run_sweep<2>(GetParam()); }
+TEST_P(SubtreeSweep3D, PostconditionsHold) { run_sweep<3>(GetParam()); }
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> ps;
+  for (int f = 0; f < kFamilyCount; ++f) {
+    for (int sc = 0; sc < 2; ++sc) ps.push_back({f, sc});
+  }
+  return ps;
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return std::string(family_name(info.param.family)) +
+         (info.param.size_class == 0 ? "_small" : "_large");
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SubtreeSweep2D,
+                         ::testing::ValuesIn(sweep_params()), sweep_name);
+INSTANTIATE_TEST_SUITE_P(Families, SubtreeSweep3D,
+                         ::testing::ValuesIn(sweep_params()), sweep_name);
+
+TEST(LambdaInvariance, TranslationInvariantIncludingExteriorFrames) {
+  // finest_exp_in depends only on relative positions: shifting both octants
+  // by the same (tree-lattice) translation — even into an exterior frame —
+  // must not change the answer.  This is what makes cross-tree seed
+  // computations valid.
+  Rng rng(404);
+  const auto root = root_octant<2>();
+  for (int i = 0; i < 3000; ++i) {
+    const auto o = random_octant(rng, root, 10);
+    const auto r = random_octant(rng, root, 6);
+    if (o.level == 0 || overlaps(o, r) || r.level > o.level) continue;
+    for (int k = 1; k <= 2; ++k) {
+      const int base = finest_exp_in(o, r, k);
+      // Shift both by a full root length into the exterior coordinate
+      // range: the relative geometry — and therefore the answer — must be
+      // unchanged.  This is exactly the frame a cross-tree seed
+      // computation works in.
+      auto o2 = o;
+      auto r2 = r;
+      o2.x[0] -= root_len<2>;
+      r2.x[0] -= root_len<2>;
+      ASSERT_TRUE(is_extended_valid(o2));
+      ASSERT_TRUE(is_extended_valid(r2));
+      EXPECT_EQ(base, finest_exp_in(o2, r2, k))
+          << to_string(o) << " vs " << to_string(r) << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace octbal

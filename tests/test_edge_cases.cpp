@@ -1,0 +1,107 @@
+/// \file test_edge_cases.cpp
+/// \brief Edge cases of the distributed layer: more ranks than octants
+/// (empty ranks), coarsening across partition boundaries, minimal forests,
+/// and degenerate balance inputs.
+
+#include <gtest/gtest.h>
+
+#include "forest/balance.hpp"
+#include "forest/ghost.hpp"
+#include "util/rng.hpp"
+
+namespace octbal {
+namespace {
+
+TEST(EmptyRanks, MoreRanksThanOctants) {
+  // 2 trees at level 0 = 2 octants on 10 ranks: 8 ranks are empty.
+  Forest<2> f(Connectivity<2>::brick({2, 1}), 10, 0);
+  EXPECT_TRUE(f.is_valid());
+  int nonempty = 0;
+  for (int r = 0; r < 10; ++r) nonempty += !f.local(r).empty();
+  EXPECT_EQ(nonempty, 2);
+  // Balance must run through the empty ranks without touching them.
+  SimComm comm(10);
+  const auto rep = balance(f, BalanceOptions::new_config(), comm);
+  EXPECT_TRUE(f.is_valid());
+  EXPECT_EQ(rep.octants_after, 2u);
+}
+
+TEST(EmptyRanks, BalanceWithUnbalancedMeshAndEmptyRanks) {
+  Forest<2> f(Connectivity<2>::unitcube(), 12, 1);  // 4 octants, 12 ranks
+  f.refine(
+      [](const TreeOct<2>& to) {
+        return to.oct.level < 5 && to.oct.x[0] == 0 && to.oct.x[1] == 0;
+      },
+      true);
+  // Do NOT repartition: keep empties in the middle of the rank list.
+  const auto want = forest_balance_serial(f.gather(), f.connectivity(), 2);
+  SimComm comm(12);
+  balance(f, BalanceOptions::new_config(), comm);
+  EXPECT_EQ(f.gather(), want);
+}
+
+TEST(EmptyRanks, GhostLayerSkipsEmptyRanks) {
+  Forest<2> f(Connectivity<2>::brick({2, 1}), 8, 0);
+  SimComm comm(8);
+  const auto g = build_ghost_layer(f, 1, comm);
+  std::size_t total = 0;
+  for (const auto& v : g.per_rank) total += v.size();
+  EXPECT_EQ(total, 2u);  // the two root leaves ghost each other
+}
+
+TEST(Coarsen, FamilySplitAcrossRanksIsNotMerged) {
+  // 4 level-1 leaves over 2 ranks: the family straddles the boundary, so
+  // an all-yes coarsen must be a no-op (coarsening may not move octants
+  // between partitions).
+  Forest<2> f(Connectivity<2>::unitcube(), 2, 1);
+  ASSERT_EQ(f.local(0).size(), 2u);
+  const auto before = f.gather();
+  f.coarsen([](const TreeOct<2>&) { return true; });
+  EXPECT_EQ(f.gather(), before);
+  EXPECT_TRUE(f.is_valid());
+}
+
+TEST(Coarsen, FamilyWithinOneRankIsMerged) {
+  Forest<2> f(Connectivity<2>::unitcube(), 2, 2);  // 16 leaves, 8 each
+  const auto before = f.global_num_octants();
+  f.coarsen([](const TreeOct<2>&) { return true; });
+  // Each rank holds 8 = two full level-2 families: both merge.
+  EXPECT_EQ(f.global_num_octants(), before - 2 * 2 * 3);
+  EXPECT_TRUE(f.is_valid());
+}
+
+TEST(Minimal, SingleOctantForest) {
+  Forest<3> f(Connectivity<3>::unitcube(), 1, 0);
+  EXPECT_EQ(f.global_num_octants(), 1u);
+  SimComm comm(1);
+  const auto rep = balance(f, BalanceOptions::new_config(), comm);
+  EXPECT_EQ(rep.octants_after, 1u);
+  EXPECT_TRUE(forest_is_balanced(f.gather(), f.connectivity(), 3));
+}
+
+TEST(Minimal, RefineNothingIsIdentity) {
+  Forest<2> f(Connectivity<2>::brick({3, 2}), 3, 2);
+  const auto before = f.gather();
+  f.refine([](const TreeOct<2>&) { return false; }, true);
+  EXPECT_EQ(f.gather(), before);
+}
+
+TEST(Partition, RepartitionAfterBalancePreservesContent) {
+  Rng rng(88);
+  Forest<2> f(Connectivity<2>::brick({2, 1}), 6, 1);
+  f.refine(
+      [&](const TreeOct<2>& to) { return to.oct.level < 5 && rng.chance(0.3); },
+      true);
+  f.partition_uniform();
+  SimComm comm(6);
+  balance(f, BalanceOptions::new_config(), comm);
+  const auto sum = forest_checksum(f);
+  f.partition_uniform(&comm);
+  EXPECT_EQ(forest_checksum(f), sum);
+  EXPECT_TRUE(f.is_valid());
+  // Still balanced after moving octants between ranks.
+  EXPECT_TRUE(forest_is_balanced(f.gather(), f.connectivity(), 2));
+}
+
+}  // namespace
+}  // namespace octbal

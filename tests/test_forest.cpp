@@ -1,0 +1,275 @@
+/// \file test_forest.cpp
+/// \brief Tests for connectivity, the distributed forest, refinement,
+/// coarsening, SFC partitioning and owner lookups.
+
+#include <gtest/gtest.h>
+
+#include "core/ripple.hpp"
+#include "forest/forest.hpp"
+#include "util/rng.hpp"
+
+namespace octbal {
+namespace {
+
+TEST(Connectivity, UnitcubeHasNoNeighbors) {
+  const auto c = Connectivity<2>::unitcube();
+  EXPECT_EQ(c.num_trees(), 1);
+  Oct2 o{{0, 0}, 1};
+  EXPECT_FALSE(c.neighbor(0, o, {-1, 0}).has_value());
+  EXPECT_TRUE(c.neighbor(0, o, {1, 0}).has_value());
+  EXPECT_EQ(c.neighbor(0, o, {1, 0})->tree, 0);
+  EXPECT_TRUE(c.validate());
+}
+
+TEST(Connectivity, BrickFaceNeighbors) {
+  const auto c = Connectivity<2>::brick({3, 2});
+  EXPECT_EQ(c.num_trees(), 6);
+  EXPECT_EQ(c.tree_index({2, 1}), 5);
+  EXPECT_EQ(c.tree_coords(4), (std::array<int, 2>{1, 1}));
+  // The right half of tree 0 stepping right lands in tree 1.
+  Oct2 o{{root_len<2> / 2, 0}, 1};
+  const auto nb = c.neighbor(0, o, {1, 0});
+  ASSERT_TRUE(nb.has_value());
+  EXPECT_EQ(nb->tree, 1);
+  EXPECT_EQ(nb->oct.x[0], 0);
+  EXPECT_EQ(nb->step, (std::array<coord_t, 2>{1, 0}));
+  EXPECT_TRUE(c.validate());
+}
+
+TEST(Connectivity, BrickCornerNeighborAcrossTrees) {
+  const auto c = Connectivity<2>::brick({2, 2});
+  // The top-right corner octant of tree 0 stepping diagonally reaches
+  // tree 3's bottom-left.
+  const coord_t h = root_len<2> / 2;
+  Oct2 o{{h, h}, 1};
+  const auto nb = c.neighbor(0, o, {1, 1});
+  ASSERT_TRUE(nb.has_value());
+  EXPECT_EQ(nb->tree, 3);
+  EXPECT_EQ(nb->oct.x, (std::array<coord_t, 2>{0, 0}));
+}
+
+TEST(Connectivity, PeriodicWrap) {
+  std::array<bool, 2> per{true, false};
+  const auto c = Connectivity<2>::brick({2, 1}, per);
+  Oct2 o{{0, 0}, 1};
+  const auto nb = c.neighbor(0, o, {-1, 0});
+  ASSERT_TRUE(nb.has_value());
+  EXPECT_EQ(nb->tree, 1);  // wrapped around
+  EXPECT_EQ(nb->oct.x[0], root_len<2> / 2);
+  EXPECT_FALSE(c.neighbor(0, o, {0, -1}).has_value());  // y not periodic
+  EXPECT_TRUE(c.validate());
+}
+
+TEST(Connectivity, Brick3D) {
+  const auto c = Connectivity<3>::brick({3, 2, 1});
+  EXPECT_EQ(c.num_trees(), 6);
+  EXPECT_TRUE(c.validate());
+  // Edge neighbor across two trees.
+  const coord_t h = root_len<3> / 2;
+  Oct3 o{{h, h, 0}, 1};
+  const auto nb = c.neighbor(0, o, {1, 1, 0});
+  ASSERT_TRUE(nb.has_value());
+  EXPECT_EQ(nb->tree, 4);  // (1,1,0) in a 3x2x1 brick
+}
+
+template <int D>
+Connectivity<D> brick2() {
+  std::array<int, D> dims{};
+  dims.fill(1);
+  dims[0] = 2;
+  return Connectivity<D>::brick(dims);
+}
+
+template <int D>
+Connectivity<D> brick3() {
+  std::array<int, D> dims{};
+  dims.fill(1);
+  dims[0] = 3;
+  return Connectivity<D>::brick(dims);
+}
+
+template <typename T>
+class ForestTest : public ::testing::Test {};
+template <int N>
+struct Dim {
+  static constexpr int d = N;
+};
+using Dims = ::testing::Types<Dim<2>, Dim<3>>;
+TYPED_TEST_SUITE(ForestTest, Dims);
+
+TYPED_TEST(ForestTest, UniformConstructionIsValid) {
+  constexpr int D = TypeParam::d;
+  const auto conn = brick2<D>();
+  for (int p : {1, 3, 4}) {
+    Forest<D> f(conn, p, 2);
+    EXPECT_TRUE(f.is_valid());
+    EXPECT_EQ(f.global_num_octants(),
+              static_cast<std::uint64_t>(conn.num_trees())
+                  << (2 * D));
+    // Roughly even distribution.
+    for (int r = 0; r < p; ++r) {
+      EXPECT_LE(f.local(r).size(), f.global_num_octants() / p + 1);
+    }
+  }
+}
+
+TYPED_TEST(ForestTest, RefineAndCoarsenRoundTrip) {
+  constexpr int D = TypeParam::d;
+  Forest<D> f(Connectivity<D>::unitcube(), 2, 1);
+  const auto before = f.gather();
+  f.refine([](const TreeOct<D>&) { return true; }, false);
+  EXPECT_TRUE(f.is_valid());
+  EXPECT_EQ(f.global_num_octants(),
+            before.size() * static_cast<std::size_t>(num_children<D>));
+  f.coarsen([](const TreeOct<D>&) { return true; });
+  EXPECT_TRUE(f.is_valid());
+  EXPECT_EQ(f.gather(), before);
+}
+
+TYPED_TEST(ForestTest, RecursiveRefineRespectsPredicate) {
+  constexpr int D = TypeParam::d;
+  Forest<D> f(Connectivity<D>::unitcube(), 1, 0);
+  // Refine only along the origin corner down to level 4.
+  f.refine(
+      [](const TreeOct<D>& to) {
+        if (to.oct.level >= 4) return false;
+        for (int i = 0; i < D; ++i) {
+          if (to.oct.x[i] != 0) return false;
+        }
+        return true;
+      },
+      true);
+  EXPECT_TRUE(f.is_valid());
+  const auto all = f.gather();
+  // Exactly one leaf per level 1..3 pattern: the corner chain.
+  int deepest = 0;
+  for (const auto& to : all) deepest = std::max(deepest, int(to.oct.level));
+  EXPECT_EQ(deepest, 4);
+}
+
+TYPED_TEST(ForestTest, PartitionUniformEqualizes) {
+  constexpr int D = TypeParam::d;
+  Forest<D> f(brick2<D>(), 4, 1);
+  // Skew the mesh heavily, then repartition.
+  f.refine(
+      [](const TreeOct<D>& to) {
+        return to.tree == 0 && to.oct.level < 4;
+      },
+      true);
+  SimComm comm(4);
+  f.partition_uniform(&comm);
+  EXPECT_TRUE(f.is_valid());
+  const auto n = f.global_num_octants();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NEAR(static_cast<double>(f.local(r).size()),
+                static_cast<double>(n) / 4, 1.0);
+  }
+  EXPECT_GT(comm.stats().bytes, 0u);  // something actually moved
+}
+
+TYPED_TEST(ForestTest, PartitionWeightedFollowsWeights) {
+  constexpr int D = TypeParam::d;
+  Forest<D> f(Connectivity<D>::unitcube(), 4, 2);
+  // Give all weight to the first half of the curve: ranks 0..1 should end
+  // up holding it.
+  const auto all = f.gather();
+  const auto mid = all[all.size() / 2];
+  f.partition_weighted([&](const TreeOct<D>& to) {
+    return to < mid ? 3 : 1;
+  });
+  EXPECT_TRUE(f.is_valid());
+  // The first half (weight 3x) is spread over ~3/4 of the ranks, so rank 0
+  // holds fewer octants than uniform.
+  EXPECT_LT(f.local(0).size(), all.size() / 4);
+}
+
+TYPED_TEST(ForestTest, OwnersOfFindsCorrectRanks) {
+  constexpr int D = TypeParam::d;
+  Forest<D> f(brick2<D>(), 5, 2);
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Pick a random owned octant and verify its owner range.
+    const int r = static_cast<int>(rng.below(5));
+    if (f.local(r).empty()) continue;
+    const auto& to = f.local(r)[rng.below(f.local(r).size())];
+    const auto [a, b] = f.owners_of(position_of(to), end_position_of(to));
+    EXPECT_LE(a, r);
+    EXPECT_GE(b, r);
+    // A leaf is never split across ranks.
+    EXPECT_EQ(a, b);
+  }
+}
+
+TYPED_TEST(ForestTest, OwnersOfSpanningRange) {
+  constexpr int D = TypeParam::d;
+  Forest<D> f(Connectivity<D>::unitcube(), 4, 2);
+  // The whole root is owned by everyone.
+  const TreeOct<D> whole{0, root_octant<D>()};
+  const auto [a, b] = f.owners_of(position_of(whole), end_position_of(whole));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 3);
+}
+
+TYPED_TEST(ForestTest, GatherIsSortedGlobalOrder) {
+  constexpr int D = TypeParam::d;
+  Forest<D> f(brick3<D>(), 3, 2);
+  const auto all = f.gather();
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_TRUE(all[i] < all[i + 1]);
+  }
+}
+
+TEST(ForestBalanceOracle, DetectsCrossTreeViolations) {
+  const auto conn = Connectivity<2>::brick({2, 1});
+  Forest<2> f(conn, 1, 1);
+  // Deep refinement at the right edge of tree 0 (touching tree 1).
+  f.refine(
+      [](const TreeOct<2>& to) {
+        return to.tree == 0 && to.oct.level < 4 &&
+               to.oct.x[0] + side_len(to.oct) == root_len<2>;
+      },
+      true);
+  const auto leaves = f.gather();
+  // Tree 1 is a single root-level... actually level-1 leaves; the deep
+  // refinement in tree 0 must violate cross-tree balance.
+  EXPECT_FALSE(forest_is_balanced(leaves, conn, 1));
+  const auto balanced = forest_balance_serial(leaves, conn, 1);
+  EXPECT_TRUE(forest_is_balanced(balanced, conn, 1));
+  EXPECT_GT(balanced.size(), leaves.size());
+}
+
+}  // namespace
+}  // namespace octbal
+
+namespace octbal {
+namespace {
+
+TEST(OracleCrossValidation, ForestSerialEqualsRippleOnSingleTree) {
+  // Two independent reference implementations must agree: the forest-level
+  // serial fixpoint (per-tree subtree balance iterated) and the pure
+  // definition-level ripple, on a single-tree forest.
+  Rng rng(2718);
+  const auto conn = Connectivity<2>::unitcube();
+  for (int iter = 0; iter < 10; ++iter) {
+    Forest<2> f(conn, 1, 1);
+    f.refine(
+        [&](const TreeOct<2>& to) {
+          return to.oct.level < 5 && rng.chance(0.35);
+        },
+        true);
+    const auto leaves = f.gather();
+    std::vector<Oct2> plain;
+    for (const auto& to : leaves) plain.push_back(to.oct);
+    for (int k = 1; k <= 2; ++k) {
+      const auto via_forest = forest_balance_serial(leaves, conn, k);
+      const auto via_ripple = ripple_balance(plain, k, root_octant<2>());
+      ASSERT_EQ(via_forest.size(), via_ripple.size()) << "k=" << k;
+      for (std::size_t i = 0; i < via_ripple.size(); ++i) {
+        EXPECT_EQ(via_forest[i].oct, via_ripple[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace octbal

@@ -1,0 +1,231 @@
+/// \file test_octant.cpp
+/// \brief Unit and property tests for the octant type and the Table I
+/// relationships: parent/child/sibling/family/child-id, Morton ordering,
+/// containment, descendants, and the nearest common ancestor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/octant.hpp"
+#include "util/rng.hpp"
+
+namespace octbal {
+namespace {
+
+template <typename T>
+class OctantTypedTest : public ::testing::Test {};
+
+template <int N>
+struct Dim {
+  static constexpr int d = N;
+};
+using Dims = ::testing::Types<Dim<1>, Dim<2>, Dim<3>>;
+TYPED_TEST_SUITE(OctantTypedTest, Dims);
+
+TYPED_TEST(OctantTypedTest, RootIsValid) {
+  constexpr int D = TypeParam::d;
+  const auto r = root_octant<D>();
+  EXPECT_TRUE(is_valid(r));
+  EXPECT_EQ(side_len(r), root_len<D>);
+  EXPECT_EQ(size_exp(r), max_level<D>);
+}
+
+TYPED_TEST(OctantTypedTest, ChildParentRoundTrip) {
+  constexpr int D = TypeParam::d;
+  Rng rng(7);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto o = random_octant(rng, root, max_level<D> - 1);
+    for (int i = 0; i < num_children<D>; ++i) {
+      const auto c = child(o, i);
+      EXPECT_TRUE(is_valid(c));
+      EXPECT_EQ(parent(c), o);
+      EXPECT_EQ(child_id(c), i);
+      EXPECT_TRUE(is_ancestor(o, c));
+      EXPECT_TRUE(contains(o, c));
+      EXPECT_FALSE(contains(c, o));
+    }
+  }
+}
+
+TYPED_TEST(OctantTypedTest, SiblingIsChildOfParent) {
+  constexpr int D = TypeParam::d;
+  Rng rng(8);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 200; ++iter) {
+    auto o = random_octant(rng, root, max_level<D>);
+    if (o.level == 0) continue;
+    for (int i = 0; i < num_children<D>; ++i) {
+      EXPECT_EQ(sibling(o, i), child(parent(o), i));
+    }
+    EXPECT_EQ(sibling(o, child_id(o)), o);
+    EXPECT_EQ(zero_sibling(o), sibling(o, 0));
+  }
+}
+
+TYPED_TEST(OctantTypedTest, FamilyCoversParentExactly) {
+  constexpr int D = TypeParam::d;
+  Rng rng(9);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 100; ++iter) {
+    auto o = random_octant(rng, root, max_level<D>);
+    if (o.level == 0) continue;
+    const auto fam = family(o);
+    morton_t vol = 0;
+    for (const auto& f : fam) {
+      EXPECT_EQ(parent(f), parent(o));
+      vol += morton_t{1} << (D * size_exp(f));
+    }
+    EXPECT_EQ(vol, morton_t{1} << (D * size_exp(parent(o))));
+  }
+}
+
+TYPED_TEST(OctantTypedTest, MortonOrderMatchesChildOrder) {
+  constexpr int D = TypeParam::d;
+  Rng rng(10);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto o = random_octant(rng, root, max_level<D> - 1);
+    // Children are ordered by child index (the z-pattern of Figure 2).
+    for (int i = 0; i + 1 < num_children<D>; ++i) {
+      EXPECT_LT(child(o, i), child(o, i + 1));
+    }
+    // An ancestor precedes all of its descendants (preorder).
+    EXPECT_LT(o, child(o, 0));
+  }
+}
+
+TYPED_TEST(OctantTypedTest, OrderIsTotalOnRandomOctants) {
+  constexpr int D = TypeParam::d;
+  Rng rng(11);
+  const auto root = root_octant<D>();
+  std::vector<Octant<D>> v;
+  for (int i = 0; i < 300; ++i) v.push_back(random_octant(rng, root, 8));
+  std::sort(v.begin(), v.end());
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    EXPECT_TRUE(v[i] < v[i + 1] || v[i] == v[i + 1]);
+    // Trichotomy: exactly one of <, ==, > holds.
+    const bool lt = v[i] < v[i + 1], eq = v[i] == v[i + 1],
+               gt = v[i + 1] < v[i];
+    EXPECT_EQ(1, int(lt) + int(eq) + int(gt));
+  }
+}
+
+TYPED_TEST(OctantTypedTest, DisjointOctantsOrderedByAnchorKey) {
+  constexpr int D = TypeParam::d;
+  Rng rng(12);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto a = random_octant(rng, root, 10);
+    const auto b = random_octant(rng, root, 10);
+    if (overlaps(a, b)) continue;
+    EXPECT_EQ(a < b, morton_key(a) < morton_key(b));
+  }
+}
+
+TYPED_TEST(OctantTypedTest, FirstLastDescendants) {
+  constexpr int D = TypeParam::d;
+  Rng rng(13);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto o = random_octant(rng, root, max_level<D> - 2);
+    const int lvl = o.level + 2;
+    const auto fd = first_descendant(o, lvl);
+    const auto ld = last_descendant(o, lvl);
+    EXPECT_TRUE(contains(o, fd));
+    EXPECT_TRUE(contains(o, ld));
+    EXPECT_LE(fd, ld);
+    // No descendant at that level lies outside [fd, ld].
+    const auto c = child(child(o, num_children<D> - 1), 0);
+    EXPECT_LE(fd, c);
+    EXPECT_LE(c, ld);
+  }
+}
+
+TYPED_TEST(OctantTypedTest, NearestCommonAncestorProperties) {
+  constexpr int D = TypeParam::d;
+  Rng rng(14);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto a = random_octant(rng, root, 10);
+    const auto b = random_octant(rng, root, 10);
+    const auto n = nearest_common_ancestor(a, b);
+    EXPECT_TRUE(contains(n, a));
+    EXPECT_TRUE(contains(n, b));
+    // Nearest: no child of n contains both.
+    if (n.level < max_level<D>) {
+      for (int i = 0; i < num_children<D>; ++i) {
+        const auto c = child(n, i);
+        EXPECT_FALSE(contains(c, a) && contains(c, b));
+      }
+    }
+  }
+}
+
+TYPED_TEST(OctantTypedTest, AncestorChainIsConsistent) {
+  constexpr int D = TypeParam::d;
+  Rng rng(15);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 100; ++iter) {
+    auto o = random_octant(rng, root, 12);
+    auto walk = o;
+    while (walk.level > 0) {
+      walk = parent(walk);
+      EXPECT_EQ(walk, ancestor(o, walk.level));
+      EXPECT_TRUE(is_ancestor(walk, o));
+    }
+    EXPECT_EQ(walk, root);
+  }
+}
+
+TYPED_TEST(OctantTypedTest, PreclusionIsPartialOrderOnFamilies) {
+  constexpr int D = TypeParam::d;
+  Rng rng(16);
+  const auto root = root_octant<D>();
+  for (int iter = 0; iter < 300; ++iter) {
+    auto a = random_octant(rng, root, 10);
+    auto b = random_octant(rng, root, 10);
+    if (a.level == 0 || b.level == 0) continue;
+    // Reflexivity on families: siblings are preclusion-equivalent.
+    EXPECT_TRUE(precludes_le(a, a));
+    EXPECT_TRUE(precludes_le(a, zero_sibling(a)));
+    // Antisymmetry up to family equivalence.
+    if (precludes_lt(a, b)) {
+      EXPECT_FALSE(precludes_lt(b, a));
+      EXPECT_TRUE(is_ancestor(parent(a), parent(b)));
+    }
+  }
+}
+
+TEST(Octant2D, ExplicitMortonOrder) {
+  // The level-1 children of the 2D root in z-order: (0,0),(1,0),(0,1),(1,1).
+  const auto r = root_octant<2>();
+  const coord_t h = root_len<2> / 2;
+  const Oct2 c0{{0, 0}, 1}, c1{{h, 0}, 1}, c2{{0, h}, 1}, c3{{h, h}, 1};
+  EXPECT_LT(c0, c1);
+  EXPECT_LT(c1, c2);
+  EXPECT_LT(c2, c3);
+  EXPECT_EQ(child(r, 1), c1);
+  EXPECT_EQ(child(r, 2), c2);
+}
+
+TEST(Octant3D, ChildIdBitsMapToAxes) {
+  const auto r = root_octant<3>();
+  const coord_t h = root_len<3> / 2;
+  EXPECT_EQ(child(r, 5).x, (std::array<coord_t, 3>{h, 0, h}));
+  EXPECT_EQ(child_id(child(r, 5)), 5);
+}
+
+TEST(Octant1D, DegenerateDimensionWorks) {
+  const auto r = root_octant<1>();
+  const auto c0 = child(r, 0), c1 = child(r, 1);
+  EXPECT_LT(c0, c1);
+  EXPECT_EQ(parent(c1), r);
+  // Keys are biased for exterior headroom; differences are unbiased.
+  EXPECT_EQ(morton_key(c1) - morton_key(c0),
+            static_cast<morton_t>(root_len<1> / 2));
+}
+
+}  // namespace
+}  // namespace octbal

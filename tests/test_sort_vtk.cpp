@@ -1,0 +1,125 @@
+/// \file test_sort_vtk.cpp
+/// \brief Tests for the Morton radix sort (exact equivalence with
+/// comparison sorting, both regimes, exterior octants, duplicates) and the
+/// legacy-VTK writer (structural validity of the emitted grid).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/sort.hpp"
+#include "util/rng.hpp"
+#include "util/vtk.hpp"
+#include "workload/workloads.hpp"
+
+namespace octbal {
+namespace {
+
+template <typename T>
+class SortTest : public ::testing::Test {};
+template <int N>
+struct Dim {
+  static constexpr int d = N;
+};
+using Dims = ::testing::Types<Dim<1>, Dim<2>, Dim<3>>;
+TYPED_TEST_SUITE(SortTest, Dims);
+
+TYPED_TEST(SortTest, MatchesComparisonSortBothRegimes) {
+  constexpr int D = TypeParam::d;
+  Rng rng(808);
+  const auto root = root_octant<D>();
+  // Below and above the radix threshold.
+  for (std::size_t n : {0u, 1u, 50u, 255u, 256u, 4000u}) {
+    std::vector<Octant<D>> a;
+    a.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto o = random_octant(rng, root, max_level<D>);
+      if (rng.chance(0.2)) o.x[0] -= root_len<D>;  // exterior mix
+      a.push_back(o);
+    }
+    // Inject duplicates.
+    if (n > 10) {
+      a[3] = a[7];
+      a[n / 2] = a[n / 3];
+    }
+    auto b = a;
+    sort_octants(a);
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "n=" << n;
+  }
+}
+
+TYPED_TEST(SortTest, AncestorPrecedesDescendantAfterSort) {
+  constexpr int D = TypeParam::d;
+  Rng rng(809);
+  const auto root = root_octant<D>();
+  std::vector<Octant<D>> a;
+  for (int i = 0; i < 2000; ++i) {
+    const auto o = random_octant(rng, root, 8);
+    a.push_back(o);
+    if (o.level > 0) a.push_back(parent(o));
+  }
+  sort_octants(a);
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (is_ancestor(a[i + 1], a[i])) {
+      FAIL() << "descendant " << to_string(a[i]) << " precedes ancestor "
+             << to_string(a[i + 1]);
+    }
+  }
+}
+
+TEST(Vtk, StructureMatchesForest) {
+  Forest<2> f(Connectivity<2>::brick({2, 1}), 2, 2);
+  const std::string vtk = to_vtk(f);
+  const auto n = f.global_num_octants();
+  // Header + counts.
+  EXPECT_NE(vtk.find("# vtk DataFile"), std::string::npos);
+  EXPECT_NE(vtk.find("POINTS " + std::to_string(n * 4) + " double"),
+            std::string::npos);
+  EXPECT_NE(vtk.find("CELLS " + std::to_string(n) + " " +
+                     std::to_string(n * 5)),
+            std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS level int 1"), std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS rank int 1"), std::string::npos);
+  // Quad cell type 9 appears n times after CELL_TYPES.
+  const auto pos = vtk.find("CELL_TYPES");
+  ASSERT_NE(pos, std::string::npos);
+  std::istringstream in(vtk.substr(pos));
+  std::string tok;
+  in >> tok >> tok;  // "CELL_TYPES" n
+  std::size_t quads = 0;
+  int t;
+  while (in >> t && quads < n + 5) {
+    if (t == 9) ++quads;
+    if (quads == n) break;
+  }
+  EXPECT_EQ(quads, n);
+}
+
+TEST(Vtk, ThreeDHexahedraCoverUnitBricks) {
+  Forest<3> f(Connectivity<3>::brick({1, 1, 1}), 1, 1);
+  const std::string vtk = to_vtk(f);
+  // 8 leaves, 64 points, hexahedron type 12.
+  EXPECT_NE(vtk.find("POINTS 64 double"), std::string::npos);
+  EXPECT_NE(vtk.find("\n12\n"), std::string::npos);
+  // All coordinates within [0, 1].
+  std::istringstream in(vtk.substr(vtk.find("POINTS")));
+  std::string tok;
+  in >> tok >> tok >> tok;
+  for (int i = 0; i < 64 * 3; ++i) {
+    double v;
+    ASSERT_TRUE(static_cast<bool>(in >> v));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Vtk, WritesIceSheetFile) {
+  Forest<3> f(Connectivity<3>::brick({2, 2, 1}), 2, 1);
+  icesheet_refine(f, 3);
+  EXPECT_TRUE(write_vtk(f, "/tmp/octbal_icesheet.vtk"));
+}
+
+}  // namespace
+}  // namespace octbal
