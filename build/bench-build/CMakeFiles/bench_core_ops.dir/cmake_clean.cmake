@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_core_ops"
+  "../bench/bench_core_ops.pdb"
+  "CMakeFiles/bench_core_ops.dir/bench_core_ops.cpp.o"
+  "CMakeFiles/bench_core_ops.dir/bench_core_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_core_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_weak"
+  "../bench/bench_fig15_weak.pdb"
+  "CMakeFiles/bench_fig15_weak.dir/bench_fig15_weak.cpp.o"
+  "CMakeFiles/bench_fig15_weak.dir/bench_fig15_weak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_icesheet"
+  "../bench/bench_fig16_icesheet.pdb"
+  "CMakeFiles/bench_fig16_icesheet.dir/bench_fig16_icesheet.cpp.o"
+  "CMakeFiles/bench_fig16_icesheet.dir/bench_fig16_icesheet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_icesheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

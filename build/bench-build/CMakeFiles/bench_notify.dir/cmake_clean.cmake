@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_notify"
+  "../bench/bench_notify.pdb"
+  "CMakeFiles/bench_notify.dir/bench_notify.cpp.o"
+  "CMakeFiles/bench_notify.dir/bench_notify.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_subtree"
+  "../bench/bench_subtree.pdb"
+  "CMakeFiles/bench_subtree.dir/bench_subtree.cpp.o"
+  "CMakeFiles/bench_subtree.dir/bench_subtree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

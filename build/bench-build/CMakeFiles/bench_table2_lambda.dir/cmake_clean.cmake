@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_lambda"
+  "../bench/bench_table2_lambda.pdb"
+  "CMakeFiles/bench_table2_lambda.dir/bench_table2_lambda.cpp.o"
+  "CMakeFiles/bench_table2_lambda.dir/bench_table2_lambda.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

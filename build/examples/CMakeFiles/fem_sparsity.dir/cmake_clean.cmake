@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_sparsity.dir/fem_sparsity.cpp.o"
+  "CMakeFiles/fem_sparsity.dir/fem_sparsity.cpp.o.d"
+  "fem_sparsity"
+  "fem_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractal_forest.dir/fractal_forest.cpp.o"
+  "CMakeFiles/fractal_forest.dir/fractal_forest.cpp.o.d"
+  "fractal_forest"
+  "fractal_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractal_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

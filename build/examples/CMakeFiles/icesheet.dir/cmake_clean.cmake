@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icesheet.dir/icesheet.cpp.o"
+  "CMakeFiles/icesheet.dir/icesheet.cpp.o.d"
+  "icesheet"
+  "icesheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icesheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for icesheet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_report.dir/mesh_report.cpp.o"
+  "CMakeFiles/mesh_report.dir/mesh_report.cpp.o.d"
+  "mesh_report"
+  "mesh_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

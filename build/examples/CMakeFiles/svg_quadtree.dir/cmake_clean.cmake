@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_quadtree.dir/svg_quadtree.cpp.o"
+  "CMakeFiles/svg_quadtree.dir/svg_quadtree.cpp.o.d"
+  "svg_quadtree"
+  "svg_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/notify.cpp" "src/CMakeFiles/octbal.dir/comm/notify.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/comm/notify.cpp.o.d"
+  "/root/repo/src/comm/simcomm.cpp" "src/CMakeFiles/octbal.dir/comm/simcomm.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/comm/simcomm.cpp.o.d"
+  "/root/repo/src/core/balance_check.cpp" "src/CMakeFiles/octbal.dir/core/balance_check.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/balance_check.cpp.o.d"
+  "/root/repo/src/core/balance_subtree.cpp" "src/CMakeFiles/octbal.dir/core/balance_subtree.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/balance_subtree.cpp.o.d"
+  "/root/repo/src/core/insulation.cpp" "src/CMakeFiles/octbal.dir/core/insulation.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/insulation.cpp.o.d"
+  "/root/repo/src/core/linear.cpp" "src/CMakeFiles/octbal.dir/core/linear.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/linear.cpp.o.d"
+  "/root/repo/src/core/neighborhood.cpp" "src/CMakeFiles/octbal.dir/core/neighborhood.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/neighborhood.cpp.o.d"
+  "/root/repo/src/core/reduce.cpp" "src/CMakeFiles/octbal.dir/core/reduce.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/reduce.cpp.o.d"
+  "/root/repo/src/core/ripple.cpp" "src/CMakeFiles/octbal.dir/core/ripple.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/ripple.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/CMakeFiles/octbal.dir/core/search.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/search.cpp.o.d"
+  "/root/repo/src/core/seeds.cpp" "src/CMakeFiles/octbal.dir/core/seeds.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/seeds.cpp.o.d"
+  "/root/repo/src/core/sort.cpp" "src/CMakeFiles/octbal.dir/core/sort.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/core/sort.cpp.o.d"
+  "/root/repo/src/forest/balance.cpp" "src/CMakeFiles/octbal.dir/forest/balance.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/forest/balance.cpp.o.d"
+  "/root/repo/src/forest/connectivity.cpp" "src/CMakeFiles/octbal.dir/forest/connectivity.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/forest/connectivity.cpp.o.d"
+  "/root/repo/src/forest/forest.cpp" "src/CMakeFiles/octbal.dir/forest/forest.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/forest/forest.cpp.o.d"
+  "/root/repo/src/forest/ghost.cpp" "src/CMakeFiles/octbal.dir/forest/ghost.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/forest/ghost.cpp.o.d"
+  "/root/repo/src/forest/mesh.cpp" "src/CMakeFiles/octbal.dir/forest/mesh.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/forest/mesh.cpp.o.d"
+  "/root/repo/src/forest/nodes.cpp" "src/CMakeFiles/octbal.dir/forest/nodes.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/forest/nodes.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/octbal.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/octbal.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/svg.cpp" "src/CMakeFiles/octbal.dir/util/svg.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/util/svg.cpp.o.d"
+  "/root/repo/src/util/vtk.cpp" "src/CMakeFiles/octbal.dir/util/vtk.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/util/vtk.cpp.o.d"
+  "/root/repo/src/workload/workloads.cpp" "src/CMakeFiles/octbal.dir/workload/workloads.cpp.o" "gcc" "src/CMakeFiles/octbal.dir/workload/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

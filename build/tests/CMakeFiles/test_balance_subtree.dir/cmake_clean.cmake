@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balance_subtree.dir/test_balance_subtree.cpp.o"
+  "CMakeFiles/test_balance_subtree.dir/test_balance_subtree.cpp.o.d"
+  "test_balance_subtree"
+  "test_balance_subtree.pdb"
+  "test_balance_subtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balance_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balance_sweep.dir/test_balance_sweep.cpp.o"
+  "CMakeFiles/test_balance_sweep.dir/test_balance_sweep.cpp.o.d"
+  "test_balance_sweep"
+  "test_balance_sweep.pdb"
+  "test_balance_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

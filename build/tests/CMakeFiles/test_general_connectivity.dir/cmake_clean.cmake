@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_general_connectivity.dir/test_general_connectivity.cpp.o"
+  "CMakeFiles/test_general_connectivity.dir/test_general_connectivity.cpp.o.d"
+  "test_general_connectivity"
+  "test_general_connectivity.pdb"
+  "test_general_connectivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_general_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_general_connectivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_general_connectivity_3d.dir/test_general_connectivity_3d.cpp.o"
+  "CMakeFiles/test_general_connectivity_3d.dir/test_general_connectivity_3d.cpp.o.d"
+  "test_general_connectivity_3d"
+  "test_general_connectivity_3d.pdb"
+  "test_general_connectivity_3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_general_connectivity_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

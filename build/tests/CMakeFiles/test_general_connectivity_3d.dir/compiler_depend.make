@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_general_connectivity_3d.
+# This may be replaced when dependencies are built.

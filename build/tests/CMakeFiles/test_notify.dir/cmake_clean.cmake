@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_notify.dir/test_notify.cpp.o"
+  "CMakeFiles/test_notify.dir/test_notify.cpp.o.d"
+  "test_notify"
+  "test_notify.pdb"
+  "test_notify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

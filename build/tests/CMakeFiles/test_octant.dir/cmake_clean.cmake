@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_octant.dir/test_octant.cpp.o"
+  "CMakeFiles/test_octant.dir/test_octant.cpp.o.d"
+  "test_octant"
+  "test_octant.pdb"
+  "test_octant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_octant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

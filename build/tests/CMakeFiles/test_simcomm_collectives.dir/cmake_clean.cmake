@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcomm_collectives.dir/test_simcomm_collectives.cpp.o"
+  "CMakeFiles/test_simcomm_collectives.dir/test_simcomm_collectives.cpp.o.d"
+  "test_simcomm_collectives"
+  "test_simcomm_collectives.pdb"
+  "test_simcomm_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcomm_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

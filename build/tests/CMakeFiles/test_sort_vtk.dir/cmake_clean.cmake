@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort_vtk.dir/test_sort_vtk.cpp.o"
+  "CMakeFiles/test_sort_vtk.dir/test_sort_vtk.cpp.o.d"
+  "test_sort_vtk"
+  "test_sort_vtk.pdb"
+  "test_sort_vtk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort_vtk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

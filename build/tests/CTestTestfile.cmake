@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_octant[1]_include.cmake")
+include("/root/repo/build/tests/test_linear[1]_include.cmake")
+include("/root/repo/build/tests/test_reduce[1]_include.cmake")
+include("/root/repo/build/tests/test_neighborhood[1]_include.cmake")
+include("/root/repo/build/tests/test_balance_subtree[1]_include.cmake")
+include("/root/repo/build/tests/test_lambda[1]_include.cmake")
+include("/root/repo/build/tests/test_seeds[1]_include.cmake")
+include("/root/repo/build/tests/test_notify[1]_include.cmake")
+include("/root/repo/build/tests/test_forest[1]_include.cmake")
+include("/root/repo/build/tests/test_balance_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_ghost[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_balance_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_sort_vtk[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_simcomm_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_nodes[1]_include.cmake")
+include("/root/repo/build/tests/test_general_connectivity[1]_include.cmake")
+include("/root/repo/build/tests/test_general_connectivity_3d[1]_include.cmake")
