@@ -5,7 +5,7 @@
 /// rebalance (Section IV), and the Notify pattern reversal (Section V) —
 /// and measure what each contributes on a graded mesh.
 ///
-///   ./bench_ablation [--ranks 16] [--lmax 6]
+///   ./bench_ablation [--ranks 16] [--lmax 6] [--threads N]
 
 #include "harness.hpp"
 #include "util/cli.hpp"
@@ -45,8 +45,10 @@ int main(int argc, char** argv) {
   };
 
   std::printf("=== Ablation: contribution of each paper section, %d ranks "
-              "===\n\n",
+              "===\n",
               ranks);
+  configure_threads(cli);
+  std::printf("\n");
   std::printf("%-28s %9s %9s %9s %9s %9s %12s %12s\n", "configuration",
               "local", "notify", "qry+resp", "rebal", "TOTAL", "bytes",
               "hashq");

@@ -9,7 +9,7 @@
 /// (Figure 15's y axis).  Expected shape: the new algorithm is ~3-4x
 /// faster overall, with the largest win in Local rebalance.
 ///
-///   ./bench_fig15_weak [--base 2] [--steps 3]
+///   ./bench_fig15_weak [--base 2] [--steps 3] [--threads N]
 
 #include "harness.hpp"
 #include "util/cli.hpp"
@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 15: weak scaling, fractal forest (6 octrees), "
               "corner balance ===\n");
+  configure_threads(cli);
   std::printf("ranks x4 per step, fractal depth +1 per step (~constant "
               "octants/rank)\n\n");
   print_phase_header("traffic; times in s/(Moctants/rank)");

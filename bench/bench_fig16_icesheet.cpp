@@ -6,11 +6,11 @@
 /// per-level histograms before/after, and the balance condition sweep
 /// (k = 1, 2, 3), which shows corner balance costs the most octants.
 ///
-///   ./bench_fig16_icesheet [--lmax 7] [--bricks 8]
+///   ./bench_fig16_icesheet [--lmax 7] [--bricks 8] [--threads N]
 
 #include <cstdio>
 
-#include "forest/balance.hpp"
+#include "harness.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 #include "workload/workloads.hpp"
@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 16: synthetic ice-sheet mesh growth under 2:1 "
               "balance ===\n");
+  configure_threads(cli);
   std::printf("%3s %12s %12s %8s %10s\n", "k", "before", "after", "growth",
               "seconds");
 

@@ -8,7 +8,7 @@
 /// Expected shape: both scale, the new algorithm is faster everywhere,
 /// and its Local rebalance is one to two orders of magnitude cheaper.
 ///
-///   ./bench_fig17_strong [--lmax 6] [--bricks 6] [--maxranks 32]
+///   ./bench_fig17_strong [--lmax 6] [--bricks 6] [--maxranks 32] [--threads N]
 
 #include "harness.hpp"
 #include "util/cli.hpp"
@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 17: strong scaling, synthetic ice-sheet mesh, "
               "corner balance ===\n");
+  configure_threads(cli);
   const auto build = [&](int p) {
     Forest<3> f(Connectivity<3>::brick({bricks, bricks, 1}), p, 1);
     icesheet_refine(f, lmax);

@@ -7,8 +7,24 @@
 #include <cstdio>
 
 #include "forest/balance.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
 
 namespace octbal {
+
+/// Apply a --threads override (0 keeps OCTBAL_THREADS / hardware default)
+/// and report the count actually used.  Threads change wall-clock only:
+/// message counts, byte volumes and the α–β modeled time are identical for
+/// every thread count, so speedup rows are directly comparable.
+inline int configure_threads(const Cli& cli) {
+  const int want = static_cast<int>(cli.get_int("threads", 0));
+  if (want > 0) par::set_num_threads(want);
+  const int used = par::num_threads();
+  std::printf("rank execution: %d thread%s (--threads N or OCTBAL_THREADS "
+              "to override)\n",
+              used, used == 1 ? "" : "s");
+  return used;
+}
 
 struct RunResult {
   BalanceReport rep;

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "util/parallel.hpp"
+
 namespace octbal {
 
 std::vector<std::vector<int>> notify_naive(
@@ -40,9 +42,9 @@ std::vector<std::vector<int>> notify_ranges(
   // lists are supersets (zero-length messages downstream).
   std::vector<std::int32_t> enc(static_cast<std::size_t>(p) * 2 * max_ranges,
                                 -1);
-  for (int q = 0; q < p; ++q) {
+  par::parallel_for_ranks(p, [&](int q) {
     const auto& rcv = receivers[q];
-    if (rcv.empty()) continue;
+    if (rcv.empty()) return;
     // Find the (max_ranges - 1) largest gaps between consecutive receivers.
     std::vector<std::pair<int, std::size_t>> gaps;  // (gap size, index after)
     for (std::size_t i = 0; i + 1 < rcv.size(); ++i) {
@@ -66,7 +68,7 @@ std::vector<std::vector<int>> notify_ranges(
       ++slot;
       begin = end;
     }
-  }
+  });
   enc = comm.allgather(enc);
   std::vector<std::vector<int>> senders(p);
   for (int q = 0; q < p; ++q) {
@@ -104,7 +106,7 @@ std::vector<std::vector<int>> notify_dc(
     const int mod = bit << 1;
     // Post: each rank forwards the half of its knowledge whose receivers
     // belong to the complementary residue class mod 2^(l+1).
-    for (int q = 0; q < p; ++q) {
+    par::parallel_for_ranks(p, [&](int q) {
       const int other_class = (q ^ bit) & (mod - 1);
       std::vector<Pair> ship, keep;
       for (const Pair& pr : know[q]) {
@@ -125,21 +127,21 @@ std::vector<std::vector<int>> notify_dc(
         // The complementary class has no member below P: the pairs are
         // vacuous (no such receiver rank exists).
         assert(ship.empty());
-        continue;
+        return;
       }
       comm.send_items<Pair>(q, target, ship);
-    }
+    });
     comm.deliver();
-    for (int q = 0; q < p; ++q) {
+    par::parallel_for_ranks(p, [&](int q) {
       for (const SimMessage& m : comm.recv_all(q)) {
         const auto items = SimComm::decode_items<Pair>(m);
         know[q].insert(know[q].end(), items.begin(), items.end());
       }
-    }
+    });
   }
 
   std::vector<std::vector<int>> senders(p);
-  for (int q = 0; q < p; ++q) {
+  par::parallel_for_ranks(p, [&](int q) {
     for (const Pair& pr : know[q]) {
       assert(pr.receiver == q);
       senders[q].push_back(pr.sender);
@@ -147,7 +149,7 @@ std::vector<std::vector<int>> notify_dc(
     std::sort(senders[q].begin(), senders[q].end());
     senders[q].erase(std::unique(senders[q].begin(), senders[q].end()),
                      senders[q].end());
-  }
+  });
   return senders;
 }
 
@@ -206,7 +208,7 @@ std::vector<std::vector<NotifyPayload>> notify_dc_payload(
   for (int l = 0; l < levels; ++l) {
     const int bit = 1 << l;
     const int mod = bit << 1;
-    for (int q = 0; q < p; ++q) {
+    par::parallel_for_ranks(p, [&](int q) {
       const int other_class = (q ^ bit) & (mod - 1);
       std::vector<Item> ship, keep;
       for (Item& it : know[q]) {
@@ -218,28 +220,28 @@ std::vector<std::vector<NotifyPayload>> notify_dc_payload(
       if (target >= p) target = (q ^ bit) - mod;
       if (target < 0) {
         assert(ship.empty());
-        continue;
+        return;
       }
       comm.send(q, target, pack(ship));
-    }
+    });
     comm.deliver();
-    for (int q = 0; q < p; ++q) {
+    par::parallel_for_ranks(p, [&](int q) {
       for (const SimMessage& m : comm.recv_all(q)) {
         auto items = unpack(m.data);
         for (auto& it : items) know[q].push_back(std::move(it));
       }
-    }
+    });
   }
 
   std::vector<std::vector<NotifyPayload>> result(p);
-  for (int q = 0; q < p; ++q) {
+  par::parallel_for_ranks(p, [&](int q) {
     std::sort(know[q].begin(), know[q].end(),
               [](const Item& a, const Item& b) { return a.sender < b.sender; });
     for (Item& it : know[q]) {
       assert(it.receiver == q);
       result[q].push_back(NotifyPayload{it.sender, std::move(it.data)});
     }
-  }
+  });
   return result;
 }
 

@@ -6,13 +6,22 @@
 
 namespace octbal {
 
-SimComm::SimComm(int nranks) : outbox_(nranks), inbox_(nranks) {
+SimComm::SimComm(int nranks)
+    : outbox_(nranks),
+      inbox_(nranks),
+      send_mu_(std::make_unique<std::mutex[]>(nranks)) {
   assert(nranks >= 1);
 }
 
 void SimComm::send(int from, int to, std::vector<std::uint8_t> data) {
   assert(0 <= from && from < size());
   assert(0 <= to && to < size());
+  // Per-sender staging: rank bodies run concurrently between barriers, so
+  // two ranks may post at once; each stages into its own outbox under its
+  // own (uncontended in the BSP engine) mutex.  Cross-sender delivery
+  // order is normalized in deliver(), so thread scheduling cannot change
+  // what any receiver observes.
+  std::lock_guard<std::mutex> lk(send_mu_[from]);
   outbox_[from].push_back(Pending{from, to, std::move(data)});
 }
 

@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -38,6 +40,17 @@ class SimComm {
 
   /// Post a message from rank \p from to rank \p to; visible at \p to after
   /// the next deliver().  Zero-length messages are legal and are counted.
+  ///
+  /// Thread-safety: send() may be called concurrently for *different*
+  /// senders with no synchronization cost beyond an uncontended per-sender
+  /// mutex; concurrent posts with the same \p from are serialized by that
+  /// mutex (data-race-free, but their relative order then depends on the
+  /// schedule).  The BSP engine (par::parallel_for_ranks) runs each rank
+  /// body on one thread and every rank posts only from == itself, so
+  /// delivery order stays the deterministic (sender, post order) for any
+  /// thread count.  deliver()/recv_all()/collectives are engine-level steps
+  /// and must be called from the orchestrating thread only (recv_all of
+  /// *distinct* ranks may run concurrently between barriers).
   void send(int from, int to, std::vector<std::uint8_t> data);
 
   /// Typed convenience: send a contiguous array of trivially copyable T.
@@ -125,6 +138,7 @@ class SimComm {
 
   std::vector<std::vector<Pending>> outbox_;      // per source rank
   std::vector<std::vector<SimMessage>> inbox_;    // per destination rank
+  std::unique_ptr<std::mutex[]> send_mu_;         // one per source rank
   CommStats stats_;
   CostModel model_;
   double modeled_time_ = 0.0;

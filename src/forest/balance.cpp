@@ -8,6 +8,7 @@
 #include "core/linear.hpp"
 #include "core/neighborhood.hpp"
 #include "core/seeds.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace octbal {
@@ -109,12 +110,23 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   const CommStats stats0 = comm.stats();
   double modeled0 = comm.modeled_time();
 
+  // Rank bodies run concurrently between barriers (par::parallel_for_ranks),
+  // so every per-rank measurement lands in a preassigned slot and is
+  // reduced serially afterwards — no shared counters on the hot path.
+  std::vector<double> rank_secs(P);
+  std::vector<SubtreeBalanceStats> rank_subtree(P);
+  std::vector<std::uint64_t> rank_count(P);
+  const auto reduce_secs = [&]() {
+    double worst = 0;
+    for (int r = 0; r < P; ++r) worst = std::max(worst, rank_secs[r]);
+    return worst;
+  };
+
   // ------------------------------------------------------------------
   // Phase 1: Local balance — per rank, per (tree, contiguous run).
   // ------------------------------------------------------------------
   {
-    double worst = 0;
-    for (int r = 0; r < P; ++r) {
+    par::parallel_for_ranks(P, [&](int r) {
       Timer t;
       auto& mine = f.local(r);
       std::vector<TreeOct<D>> out;
@@ -124,14 +136,14 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
         run.reserve(j - i);
         for (std::size_t q = i; q < j; ++q) run.push_back(mine[q].oct);
         const auto bal = balance_subtree(opt.subtree, run, k, root,
-                                         &rep.subtree);
+                                         &rank_subtree[r]);
         clip_to_span(bal, run.front(), run.back(), mine[i].tree, out);
       }
       mine.swap(out);
-      worst = std::max(worst, t.seconds());
-    }
+      rank_secs[r] = t.seconds();
+    });
     f.refresh_markers();
-    rep.t_local_balance = worst;
+    rep.t_local_balance = reduce_secs();
   }
 
   // ------------------------------------------------------------------
@@ -140,8 +152,8 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   std::vector<std::vector<std::vector<WireOct<D>>>> qsend(P);
   std::vector<std::vector<int>> receivers(P);
   {
-    double worst = 0;
-    for (int r = 0; r < P; ++r) {
+    std::fill(rank_count.begin(), rank_count.end(), 0);
+    par::parallel_for_ranks(P, [&](int r) {
       Timer t;
       qsend[r].assign(P, {});
       std::vector<std::size_t> last_mark(P, static_cast<std::size_t>(-1));
@@ -204,16 +216,17 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
             if (last_mark[dest] == i) continue;              // already queued
             last_mark[dest] = i;
             qsend[r][dest].push_back(to_wire(to));
-            ++rep.queries_sent;
+            ++rank_count[r];
           }
         }
       }
       for (int dest = 0; dest < P; ++dest) {
         if (!qsend[r][dest].empty()) receivers[r].push_back(dest);
       }
-      worst = std::max(worst, t.seconds());
-    }
-    rep.t_query_response += worst;
+      rank_secs[r] = t.seconds();
+    });
+    for (int r = 0; r < P; ++r) rep.queries_sent += rank_count[r];
+    rep.t_query_response += reduce_secs();
   }
 
   // ------------------------------------------------------------------
@@ -231,7 +244,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
     const double mbefore = comm.modeled_time();
     Timer t;
     std::vector<std::vector<std::pair<int, std::vector<std::uint8_t>>>> out(P);
-    for (int r = 0; r < P; ++r) {
+    par::parallel_for_ranks(P, [&](int r) {
       for (int dest = 0; dest < P; ++dest) {
         if (qsend[r][dest].empty()) continue;
         if (dest == r) {
@@ -243,9 +256,9 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
         std::memcpy(buf.data(), qsend[r][dest].data(), buf.size());
         out[r].push_back({dest, std::move(buf)});
       }
-    }
+    });
     const auto delivered = notify_dc_payload(comm, out);
-    for (int r = 0; r < P; ++r) {
+    par::parallel_for_ranks(P, [&](int r) {
       for (const auto& np : delivered[r]) {
         std::vector<WireOct<D>> items(np.data.size() / sizeof(WireOct<D>));
         if (!items.empty()) {
@@ -253,7 +266,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
         }
         qrecv[r].push_back({np.sender, std::move(items)});
       }
-    }
+    });
     notify_model_time = comm.modeled_time() - mbefore;
     rep.t_notify = t.seconds() + notify_model_time;
     rep.notify_comm.messages = comm.stats().messages - before.messages;
@@ -273,7 +286,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
     // ----------------------------------------------------------------
     // Phase 2c: exchange the queries (self-queries bypass the network).
     // ----------------------------------------------------------------
-    for (int r = 0; r < P; ++r) {
+    par::parallel_for_ranks(P, [&](int r) {
       for (int dest = 0; dest < P; ++dest) {
         if (qsend[r][dest].empty()) continue;
         if (dest == r) {
@@ -283,13 +296,13 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
               r, dest, std::span<const WireOct<D>>(qsend[r][dest]));
         }
       }
-    }
+    });
     comm.deliver();
-    for (int r = 0; r < P; ++r) {
+    par::parallel_for_ranks(P, [&](int r) {
       for (const auto& m : comm.recv_all(r)) {
         qrecv[r].push_back({m.from, SimComm::decode_items<WireOct<D>>(m)});
       }
-    }
+    });
   }
 
   // ------------------------------------------------------------------
@@ -298,8 +311,8 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   // ------------------------------------------------------------------
   std::vector<std::vector<std::pair<int, std::vector<WirePair<D>>>>> rrecv(P);
   {
-    double worst = 0;
-    for (int r = 0; r < P; ++r) {
+    std::fill(rank_count.begin(), rank_count.end(), 0);
+    par::parallel_for_ranks(P, [&](int r) {
       Timer t;
       const auto& mine = f.local(r);
       const auto runs = tree_runs(mine);
@@ -343,7 +356,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
         // Seeds from different response octants overlap; deduplicate.
         std::sort(out.begin(), out.end());
         out.erase(std::unique(out.begin(), out.end()), out.end());
-        rep.response_items += out.size();
+        rank_count[r] += out.size();
       }
       for (auto& [dest, items] : reply) {
         if (items.empty()) continue;
@@ -354,23 +367,23 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
                                        std::span<const WirePair<D>>(items));
         }
       }
-      worst = std::max(worst, t.seconds());
-    }
+      rank_secs[r] = t.seconds();
+    });
     comm.deliver();
-    for (int r = 0; r < P; ++r) {
+    par::parallel_for_ranks(P, [&](int r) {
       for (const auto& m : comm.recv_all(r)) {
         rrecv[r].push_back({m.from, SimComm::decode_items<WirePair<D>>(m)});
       }
-    }
-    rep.t_query_response += worst;
+    });
+    for (int r = 0; r < P; ++r) rep.response_items += rank_count[r];
+    rep.t_query_response += reduce_secs();
   }
 
   // ------------------------------------------------------------------
   // Phase 4: Local rebalance.
   // ------------------------------------------------------------------
   {
-    double worst = 0;
-    for (int r = 0; r < P; ++r) {
+    par::parallel_for_ranks(P, [&](int r) {
       Timer t;
       auto& mine = f.local(r);
       if (opt.grouped_rebalance) {
@@ -391,7 +404,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
           std::sort(octs.begin(), octs.end());
           linearize(octs);
           const auto sub =
-              balance_subtree(opt.subtree, octs, k, q.oct, &rep.subtree);
+              balance_subtree(opt.subtree, octs, k, q.oct, &rank_subtree[r]);
           for (const auto& o : sub) extra.push_back(TreeOct<D>{q.tree, o});
         }
         mine.insert(mine.end(), extra.begin(), extra.end());
@@ -422,16 +435,17 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
             linearize(input);
           }
           const auto bal =
-              balance_subtree(opt.subtree, input, k, root, &rep.subtree);
+              balance_subtree(opt.subtree, input, k, root, &rank_subtree[r]);
           clip_to_span(bal, first, last, tree, out);
         }
         mine.swap(out);
       }
-      worst = std::max(worst, t.seconds());
-    }
+      rank_secs[r] = t.seconds();
+    });
     f.refresh_markers();
-    rep.t_local_rebalance = worst;
+    rep.t_local_rebalance = reduce_secs();
   }
+  for (int r = 0; r < P; ++r) rep.subtree += rank_subtree[r];
 
   rep.comm.messages = comm.stats().messages - stats0.messages -
                       rep.notify_comm.messages;

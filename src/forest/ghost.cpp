@@ -6,6 +6,7 @@
 #include "core/balance_check.hpp"
 #include "core/linear.hpp"
 #include "core/neighborhood.hpp"
+#include "util/parallel.hpp"
 
 namespace octbal {
 
@@ -53,7 +54,7 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
   // rank owning part of a same-size neighbor piece of o.
   std::vector<std::vector<std::vector<WireGhost<D>>>> send(P);
   std::vector<std::vector<int>> receivers(P);
-  for (int r = 0; r < P; ++r) {
+  par::parallel_for_ranks(P, [&](int r) {
     send[r].assign(P, {});
     std::vector<std::size_t> last(P, static_cast<std::size_t>(-1));
     const auto& mine = f.local(r);
@@ -77,22 +78,22 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
     for (int q = 0; q < P; ++q) {
       if (!send[r][q].empty()) receivers[r].push_back(q);
     }
-  }
+  });
 
   (void)notify(notify_algo, comm, receivers);
 
   const CommStats pre = comm.stats();
-  for (int r = 0; r < P; ++r) {
+  par::parallel_for_ranks(P, [&](int r) {
     for (int q = 0; q < P; ++q) {
       if (send[r][q].empty()) continue;
       comm.send_items<WireGhost<D>>(r, q,
                                     std::span<const WireGhost<D>>(send[r][q]));
     }
-  }
+  });
   comm.deliver();
 
   // Receiver side: exact filter against the rank's own leaves.
-  for (int r = 0; r < P; ++r) {
+  par::parallel_for_ranks(P, [&](int r) {
     std::map<int, std::vector<Octant<D>>> mine;
     for (const auto& to : f.local(r)) mine[to.tree].push_back(to.oct);
     auto& out = ghost.per_rank[r];
@@ -109,7 +110,7 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
     std::sort(out.begin(), out.end(),
               [](const auto& a, const auto& b) { return a.oct < b.oct; });
     out.erase(std::unique(out.begin(), out.end()), out.end());
-  }
+  });
   ghost.traffic.messages = comm.stats().messages - pre.messages;
   ghost.traffic.bytes = comm.stats().bytes - pre.bytes;
   (void)stats0;

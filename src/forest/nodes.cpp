@@ -5,6 +5,7 @@
 #include "core/linear.hpp"
 #include "core/search.hpp"
 #include "forest/forest.hpp"
+#include "util/parallel.hpp"
 
 namespace octbal {
 
@@ -145,33 +146,42 @@ NodeNumbering enumerate_nodes_general(const std::vector<TreeOct<D>>& leaves,
     }
   }
   nn.num_nodes = ids.size();
-  nn.hanging.assign(nn.num_nodes, false);
+  nn.hanging.assign(nn.num_nodes, 0);
 
-  for (const auto& [key, id] : ids) {
-    for (const GeneralNodeKey<D>& rep : orbits.at(key)) {
-      if (nn.hanging[id]) break;
-      for (int adj = 0; adj < num_children<D> && !nn.hanging[id]; ++adj) {
-        std::array<coord_t, D> cell = rep.x;
-        bool inside = true;
-        for (int d = 0; d < D; ++d) {
-          if ((adj >> d) & 1) cell[d] -= 1;
-          inside = inside && cell[d] >= 0 && cell[d] < R;
+  // Hanging classification is independent per node: chunk the id map over
+  // the thread pool (each entry writes only its own hanging[id] slot).
+  std::vector<const std::pair<const GeneralNodeKey<D>, std::int64_t>*> entries;
+  entries.reserve(ids.size());
+  for (const auto& kv : ids) entries.push_back(&kv);
+  par::parallel_for_blocked(entries.size(), 64, [&](std::size_t lo,
+                                                    std::size_t hi) {
+    for (std::size_t n = lo; n < hi; ++n) {
+      const auto& [key, id] = *entries[n];
+      for (const GeneralNodeKey<D>& rep : orbits.at(key)) {
+        if (nn.hanging[id]) break;
+        for (int adj = 0; adj < num_children<D> && !nn.hanging[id]; ++adj) {
+          std::array<coord_t, D> cell = rep.x;
+          bool inside = true;
+          for (int d = 0; d < D; ++d) {
+            if ((adj >> d) & 1) cell[d] -= 1;
+            inside = inside && cell[d] >= 0 && cell[d] < R;
+          }
+          if (!inside) continue;
+          const std::size_t li =
+              find_containing_leaf<D>(per_tree[rep.tree], cell);
+          if (li == npos) continue;
+          const Octant<D>& m = per_tree[rep.tree][li];
+          const coord_t mh = side_len(m);
+          bool corner = true;
+          for (int d = 0; d < D; ++d) {
+            corner = corner &&
+                     (rep.x[d] == m.x[d] || rep.x[d] == m.x[d] + mh);
+          }
+          if (!corner) nn.hanging[id] = 1;
         }
-        if (!inside) continue;
-        const std::size_t li =
-            find_containing_leaf<D>(per_tree[rep.tree], cell);
-        if (li == npos) continue;
-        const Octant<D>& m = per_tree[rep.tree][li];
-        const coord_t mh = side_len(m);
-        bool corner = true;
-        for (int d = 0; d < D; ++d) {
-          corner = corner &&
-                   (rep.x[d] == m.x[d] || rep.x[d] == m.x[d] + mh);
-        }
-        if (!corner) nn.hanging[id] = true;
       }
     }
-  }
+  });
   for (std::uint64_t i = 0; i < nn.num_nodes; ++i) {
     nn.num_independent += !nn.hanging[i];
   }
@@ -219,44 +229,52 @@ NodeNumbering enumerate_nodes(const std::vector<TreeOct<D>>& leaves,
     }
   }
   nn.num_nodes = ids.size();
-  nn.hanging.assign(nn.num_nodes, false);
+  nn.hanging.assign(nn.num_nodes, 0);
 
   // Pass 2: a node hangs if some containing leaf does not have it as a
   // corner (it then lies in the interior of that leaf's face or edge).
-  for (const auto& [node, id] : ids) {
-    for (int adj = 0; adj < num_children<D> && !nn.hanging[id]; ++adj) {
-      // The finest-level cell on the (-adj) side of the node.
-      GlobalCoord<D> cell = node;
-      for (int i = 0; i < D; ++i) {
-        if ((adj >> i) & 1) cell[i] -= 1;
-      }
-      GlobalCoord<D> canon = cell;
-      if (!canonicalize<D>(conn, ext, canon, false)) continue;
-      // Map to (tree, local anchor) and locate the containing leaf.
-      std::array<int, D> tc{};
-      std::array<coord_t, D> local{};
-      for (int i = 0; i < D; ++i) {
-        tc[i] = static_cast<int>(canon[i] / root_len<D>);
-        local[i] = static_cast<coord_t>(canon[i] % root_len<D>);
-      }
-      const int tree = conn.tree_index(tc);
-      const std::size_t li = find_containing_leaf<D>(per_tree[tree], local);
-      if (li == npos) continue;  // malformed input; tolerated here
-      const TreeOct<D> m{tree, per_tree[tree][li]};
-      // Corner test: does any canonicalized corner of m equal the node?
-      const GlobalCoord<D> ma = global_anchor(m);
-      const std::int64_t mh = side_len(m.oct);
-      bool corner = false;
-      for (int c = 0; c < num_children<D> && !corner; ++c) {
-        GlobalCoord<D> g = ma;
+  // Independent per node — chunked over the thread pool.
+  std::vector<const std::pair<const GlobalCoord<D>, std::int64_t>*> entries;
+  entries.reserve(ids.size());
+  for (const auto& kv : ids) entries.push_back(&kv);
+  par::parallel_for_blocked(entries.size(), 64, [&](std::size_t lo,
+                                                    std::size_t hi) {
+    for (std::size_t n = lo; n < hi; ++n) {
+      const auto& [node, id] = *entries[n];
+      for (int adj = 0; adj < num_children<D> && !nn.hanging[id]; ++adj) {
+        // The finest-level cell on the (-adj) side of the node.
+        GlobalCoord<D> cell = node;
         for (int i = 0; i < D; ++i) {
-          if ((c >> i) & 1) g[i] += mh;
+          if ((adj >> i) & 1) cell[i] -= 1;
         }
-        if (canonicalize<D>(conn, ext, g, true) && g == node) corner = true;
+        GlobalCoord<D> canon = cell;
+        if (!canonicalize<D>(conn, ext, canon, false)) continue;
+        // Map to (tree, local anchor) and locate the containing leaf.
+        std::array<int, D> tc{};
+        std::array<coord_t, D> local{};
+        for (int i = 0; i < D; ++i) {
+          tc[i] = static_cast<int>(canon[i] / root_len<D>);
+          local[i] = static_cast<coord_t>(canon[i] % root_len<D>);
+        }
+        const int tree = conn.tree_index(tc);
+        const std::size_t li = find_containing_leaf<D>(per_tree[tree], local);
+        if (li == npos) continue;  // malformed input; tolerated here
+        const TreeOct<D> m{tree, per_tree[tree][li]};
+        // Corner test: does any canonicalized corner of m equal the node?
+        const GlobalCoord<D> ma = global_anchor(m);
+        const std::int64_t mh = side_len(m.oct);
+        bool corner = false;
+        for (int c = 0; c < num_children<D> && !corner; ++c) {
+          GlobalCoord<D> g = ma;
+          for (int i = 0; i < D; ++i) {
+            if ((c >> i) & 1) g[i] += mh;
+          }
+          if (canonicalize<D>(conn, ext, g, true) && g == node) corner = true;
+        }
+        if (!corner) nn.hanging[id] = 1;
       }
-      if (!corner) nn.hanging[id] = true;
     }
-  }
+  });
   for (std::uint64_t i = 0; i < nn.num_nodes; ++i) {
     nn.num_independent += !nn.hanging[i];
   }

@@ -32,8 +32,11 @@ struct NodeNumbering {
   /// For each leaf (in the order given), its 2^D corner node ids in
   /// z-order.
   std::vector<std::array<std::int64_t, 8>> element_nodes;
-  /// Per node id: true if the node hangs on a coarser neighbor.
-  std::vector<bool> hanging;
+  /// Per node id: nonzero if the node hangs on a coarser neighbor.
+  /// (std::uint8_t, not bool: the classification pass writes entries
+  /// concurrently from the thread pool, and std::vector<bool>'s bit
+  /// packing would turn per-id writes into data races.)
+  std::vector<std::uint8_t> hanging;
 };
 
 /// Enumerate the corner nodes of a *face-balanced* forest.  Nodes on

@@ -1,0 +1,181 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace octbal::par {
+namespace {
+
+int default_threads() {
+  if (const char* env = std::getenv("OCTBAL_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+/// A persistent pool: workers sleep on a condition variable and wake per
+/// job generation.  One job at a time (parallel_for_ranks holds the job
+/// mutex for its whole duration), indices handed out by an atomic counter
+/// so uneven rank bodies load-balance.
+class Pool {
+ public:
+  ~Pool() { shutdown(); }
+
+  void run(int n, const std::function<void(int)>& fn) {
+    std::lock_guard<std::mutex> job_lock(job_mu_);
+    ensure_workers();
+    const int nworkers = static_cast<int>(workers_.size());
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn_ = &fn;
+      total_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      eptr_ = nullptr;
+      active_ = nworkers;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    drain();  // the caller participates
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_done_.wait(lk, [&] { return active_ == 0; });
+      fn_ = nullptr;
+      if (eptr_) std::rethrow_exception(eptr_);
+    }
+  }
+
+  void resize(int nthreads) {
+    std::lock_guard<std::mutex> job_lock(job_mu_);
+    shutdown();
+    threads_ = nthreads;
+  }
+
+  int threads() {
+    if (threads_ == 0) threads_ = default_threads();
+    return threads_;
+  }
+
+ private:
+  void ensure_workers() {
+    const int want = threads() - 1;  // the caller is a worker too
+    if (static_cast<int>(workers_.size()) == want) return;
+    shutdown();
+    stop_ = false;
+    // generation_ is stable here (bumps happen under job_mu_, which we
+    // hold): hand it to each worker as its starting point so a late-
+    // spawning worker cannot mistake the upcoming job's bump for one it
+    // has already processed, or a past bump for a live job.
+    const std::uint64_t gen0 = generation_;
+    for (int i = 0; i < want; ++i) {
+      workers_.emplace_back([this, gen0] { worker_loop(gen0); });
+    }
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void worker_loop(std::uint64_t seen) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--active_ == 0) cv_done_.notify_all();
+      }
+    }
+  }
+
+  void drain() {
+    const auto* fn = fn_;
+    const int total = total_;
+    for (int i = next_.fetch_add(1, std::memory_order_relaxed); i < total;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!eptr_) eptr_ = std::current_exception();
+      }
+    }
+  }
+
+  std::mutex job_mu_;  // serializes whole jobs (and resize) against each other
+  std::mutex mu_;
+  std::condition_variable cv_work_, cv_done_;
+  std::vector<std::thread> workers_;
+  int threads_ = 0;  // 0 = unresolved
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  int active_ = 0;
+  const std::function<void(int)>* fn_ = nullptr;
+  int total_ = 0;
+  std::atomic<int> next_{0};
+  std::exception_ptr eptr_;
+};
+
+Pool& pool() {
+  static Pool p;  // leaks-on-exit avoided: static destructor joins workers
+  return p;
+}
+
+thread_local bool in_parallel_region = false;
+
+}  // namespace
+
+int num_threads() { return pool().threads(); }
+
+void set_num_threads(int n) { pool().resize(n < 0 ? 0 : n); }
+
+void parallel_for_ranks(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || num_threads() == 1 || in_parallel_region) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  in_parallel_region = true;
+  struct Reset {
+    ~Reset() { in_parallel_region = false; }
+  } reset;
+  pool().run(n, [&fn](int i) {
+    in_parallel_region = true;
+    fn(i);
+  });
+}
+
+void parallel_for_blocked(std::size_t n, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t max_chunks =
+      static_cast<std::size_t>(num_threads()) * 4;  // load-balance slack
+  std::size_t chunk = (n + max_chunks - 1) / max_chunks;
+  if (chunk < grain) chunk = grain;
+  const int nchunks = static_cast<int>((n + chunk - 1) / chunk);
+  parallel_for_ranks(nchunks, [&](int c) {
+    const std::size_t lo = static_cast<std::size_t>(c) * chunk;
+    const std::size_t hi = lo + chunk < n ? lo + chunk : n;
+    fn(lo, hi);
+  });
+}
+
+}  // namespace octbal::par

@@ -1,0 +1,50 @@
+#pragma once
+/// \file parallel.hpp
+/// \brief octbal::par — a persistent thread pool for executing simulated
+/// ranks concurrently between bulk-synchronous barriers.
+///
+/// The BSP pipelines (balance, ghost, nodes, notify) are written as
+/// per-rank loops separated by SimComm::deliver() barriers.  Each rank
+/// body touches only its own state — its leaf array, its outbox, its
+/// inbox, its per-rank report slot — so the bodies of one step are
+/// embarrassingly parallel.  parallel_for_ranks() runs them across a
+/// persistent pool of worker threads; the *results* are byte-for-byte
+/// identical for every thread count, because ordering decisions are made
+/// only at the barriers (SimComm delivery order is (sender, post order),
+/// and every per-rank output lands in a preallocated per-rank slot).
+///
+/// Thread count: OCTBAL_THREADS environment variable, overridable at
+/// runtime with set_num_threads() (benches expose it as --threads).  The
+/// default is the hardware concurrency.  Modeled time (the α–β cost
+/// model) is a function of message/byte counts only and is therefore
+/// unchanged by the real thread count; threads change wall-clock, not
+/// modeled results.
+
+#include <cstddef>
+#include <functional>
+
+namespace octbal::par {
+
+/// Number of threads the next parallel_for_ranks() will use (>= 1).
+/// Resolved on first use from OCTBAL_THREADS, else hardware concurrency.
+int num_threads();
+
+/// Override the thread count; n == 0 re-resolves the default
+/// (OCTBAL_THREADS env, else hardware concurrency).  Must not be called
+/// from inside a parallel region.
+void set_num_threads(int n);
+
+/// Run fn(r) for every r in [0, n), distributed over the pool; the
+/// calling thread participates.  Blocks until all bodies finish.  The
+/// first exception thrown by any body is rethrown in the caller (the
+/// remaining bodies still run to completion).  Reentrant calls from
+/// inside a body execute inline.
+void parallel_for_ranks(int n, const std::function<void(int)>& fn);
+
+/// Blocked variant for fine-grained loops (e.g. per-node passes): run
+/// fn(begin, end) over a partition of [0, n) into contiguous chunks of at
+/// least \p grain elements.
+void parallel_for_blocked(std::size_t n, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace octbal::par
