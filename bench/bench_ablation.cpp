@@ -6,6 +6,7 @@
 /// and measure what each contributes on a graded mesh.
 ///
 ///   ./bench_ablation [--ranks 16] [--lmax 6] [--threads N]
+///                    [--json out.json] [--trace trace.json]
 
 #include "harness.hpp"
 #include "util/cli.hpp"
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int ranks = static_cast<int>(cli.get_int("ranks", 16));
   const int lmax = static_cast<int>(cli.get_int("lmax", 6));
+  BenchReport report("bench_ablation", cli);
 
   const auto build = [&](int p) {
     Forest<3> f(Connectivity<3>::brick({4, 4, 1}), p, 1);
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
   double baseline = 0;
   for (const Step& s : steps) {
     const RunResult r = run_balance<3>(build, ranks, s.opt);
+    report.add(s.name, r);
     if (baseline == 0) baseline = r.rep.total();
     std::printf("%-28s %9.4f %9.4f %9.4f %9.4f %9.4f %12llu %12llu   "
                 "(%.2fx)\n",
@@ -66,5 +69,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.rep.subtree.hash_queries),
                 baseline / r.rep.total());
   }
-  return 0;
+  return report.all_ok() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 /// faster overall, with the largest win in Local rebalance.
 ///
 ///   ./bench_fig15_weak [--base 2] [--steps 3] [--threads N]
+///                      [--json out.json] [--trace trace.json]
 
 #include "harness.hpp"
 #include "util/cli.hpp"
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int base = static_cast<int>(cli.get_int("base", 2));
   const int steps = static_cast<int>(cli.get_int("steps", 3));
+  BenchReport report("bench_fig15_weak", cli);
 
   std::printf("=== Figure 15: weak scaling, fractal forest (6 octrees), "
               "corner balance ===\n");
@@ -47,9 +49,10 @@ int main(int argc, char** argv) {
       const double moctants_per_rank =
           static_cast<double>(r.octants) / 1e6 / ranks;
       print_phase_row(r, variant == 0 ? "old" : "new", moctants_per_rank);
+      report.add(variant == 0 ? "old" : "new", r, moctants_per_rank);
     }
   }
   std::printf("\n(paper: old/new ratio 3.4-3.9x at every scale; new bars "
               "nearly constant => weak scalability)\n");
-  return 0;
+  return report.all_ok() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 /// (k = 1, 2, 3), which shows corner balance costs the most octants.
 ///
 ///   ./bench_fig16_icesheet [--lmax 7] [--bricks 8] [--threads N]
+///                          [--json out.json] [--trace trace.json]
 
 #include <cstdio>
 
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int lmax = static_cast<int>(cli.get_int("lmax", 7));
   const int bricks = static_cast<int>(cli.get_int("bricks", 8));
+  BenchReport report("bench_fig16_icesheet", cli);
 
   std::printf("=== Figure 16: synthetic ice-sheet mesh growth under 2:1 "
               "balance ===\n");
@@ -38,8 +40,17 @@ int main(int argc, char** argv) {
     BalanceOptions opt = BalanceOptions::new_config();
     opt.k = k;
     Timer t;
-    balance(f, opt, comm);
+    RunResult r;
+    r.ranks = 4;
+    r.octants = before;
+    r.rep = balance(f, opt, comm);
     const double secs = t.seconds();
+    r.modeled_time = comm.modeled_time();
+    r.metrics = comm.metrics().snapshot();
+    r.rounds = comm.rounds();
+    char algo[8];
+    std::snprintf(algo, sizeof algo, "k=%d", k);
+    report.add(algo, r);
     const auto after = f.global_num_octants();
     std::printf("%3d %12llu %12llu %7.2fx %10.3f\n", k,
                 static_cast<unsigned long long>(before),
@@ -63,5 +74,5 @@ int main(int argc, char** argv) {
   std::printf("\n(paper: Antarctica grew 55M -> 85M = 1.55x under corner "
               "balance; the growth concentrates in the levels just above "
               "the grounding-line resolution)\n");
-  return 0;
+  return report.all_ok() ? 0 : 1;
 }

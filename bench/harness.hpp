@@ -1,12 +1,27 @@
 #pragma once
 /// \file harness.hpp
 /// \brief Shared helpers for the figure-reproduction benchmark binaries:
-/// run the full one-pass balance in a given configuration and print the
-/// per-phase rows the paper plots.
+/// run the full one-pass balance in a given configuration, print the
+/// per-phase rows the paper plots, and (new) emit machine-readable run
+/// reports and Perfetto traces.
+///
+/// Every bench built on this harness understands:
+///   --json out.json    write a structured run report (the BENCH_*.json
+///                      perf-trajectory format: config, per-phase times,
+///                      per-rank stats, message histograms, α–β model)
+///   --trace out.json   record a Chrome trace_event file of the run
+///                      (load in https://ui.perfetto.dev)
+///   --threads N        thread-pool override (wall-clock only; counters
+///                      are identical for every thread count)
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "forest/balance.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 
@@ -30,10 +45,18 @@ struct RunResult {
   BalanceReport rep;
   std::uint64_t octants = 0;  ///< octants before balance
   int ranks = 1;
+  bool ok = true;             ///< result passed the 2:1 validation
+  std::string error;          ///< failure description when !ok
+  double modeled_time = 0;    ///< α–β time of the whole run
+  obs::Snapshot metrics;      ///< the run's full metrics registry
+  std::vector<SimComm::Round> rounds;  ///< per-round send/recv matrices
 };
 
 /// Balance a freshly built forest (the builder is invoked so that old and
-/// new variants see identical meshes) and verify the result.
+/// new variants see identical meshes) and verify the result.  A failed
+/// verification no longer aborts: the run is marked !ok and a diagnostic
+/// JSON report goes to stderr, so sweeps keep running and the bad
+/// configuration is fully described.
 template <int D, typename Builder>
 RunResult run_balance(Builder&& build, int ranks, const BalanceOptions& opt) {
   Forest<D> f = build(ranks);
@@ -42,10 +65,16 @@ RunResult run_balance(Builder&& build, int ranks, const BalanceOptions& opt) {
   r.octants = f.global_num_octants();
   SimComm comm(ranks);
   r.rep = balance(f, opt, comm);
+  r.modeled_time = comm.modeled_time();
+  r.metrics = comm.metrics().snapshot();
+  r.rounds = comm.rounds();
   const int k = opt.k == 0 ? D : opt.k;
   if (!forest_is_balanced(f.gather(), f.connectivity(), k)) {
-    std::fprintf(stderr, "FATAL: unbalanced result (ranks=%d)\n", ranks);
-    std::abort();
+    r.ok = false;
+    r.error = "unbalanced result after one-pass balance";
+    std::fprintf(stderr, "FAIL: %s (ranks=%d)\n%s\n", r.error.c_str(), ranks,
+                 obs::balance_failure_json(r.error, ranks, r.rep, r.metrics)
+                     .c_str());
   }
   return r;
 }
@@ -62,7 +91,7 @@ inline void print_phase_row(const RunResult& r, const char* algo,
                             double norm) {
   const auto& p = r.rep;
   std::printf("%6d %10llu %7s | %9.4f %9.4f %9.4f %9.4f %9.4f | msgs=%llu "
-              "bytes=%llu\n",
+              "bytes=%llu%s\n",
               r.ranks, static_cast<unsigned long long>(p.octants_after), algo,
               p.t_local_balance / norm, p.t_notify / norm,
               p.t_query_response / norm, p.t_local_rebalance / norm,
@@ -70,7 +99,101 @@ inline void print_phase_row(const RunResult& r, const char* algo,
               static_cast<unsigned long long>(p.comm.messages +
                                               p.notify_comm.messages),
               static_cast<unsigned long long>(p.comm.bytes +
-                                              p.notify_comm.bytes));
+                                              p.notify_comm.bytes),
+              r.ok ? "" : "  ** UNBALANCED **");
 }
+
+/// Structured run reporting for a bench binary.  Construct once at the
+/// top of main (this also starts the --trace session, so the whole run is
+/// covered); record every run with add(); the report and trace files are
+/// written when the object goes out of scope.
+class BenchReport {
+ public:
+  BenchReport(const char* bench, const Cli& cli)
+      : bench_(bench),
+        json_path_(cli.get_string("json", "")),
+        trace_path_(cli.get_string("trace", "")) {
+    for (const auto& [key, value] : cli.args()) {
+      if (key != "json" && key != "trace") config_.push_back({key, value});
+    }
+    if (!trace_path_.empty()) obs::trace_begin(trace_path_);
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    if (!trace_path_.empty()) {
+      obs::trace_end();
+      std::printf("trace written to %s (load in https://ui.perfetto.dev)\n",
+                  trace_path_.c_str());
+    }
+    if (json_path_.empty()) return;
+    write(json_path_);
+    std::printf("run report written to %s\n", json_path_.c_str());
+  }
+
+  /// Record one balance run.  \p norm is the same normalization the
+  /// printed row used (stored so the JSON is self-describing).
+  void add(const char* algo, const RunResult& r, double norm = 1.0) {
+    rows_.push_back({algo, norm, r});
+    all_ok_ = all_ok_ && r.ok;
+  }
+
+  bool all_ok() const { return all_ok_; }
+
+ private:
+  void write(const std::string& path) const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "octbal-bench-report-v1");
+    w.kv("bench", bench_);
+    w.kv("threads", par::num_threads());
+    w.kv("ok", all_ok_);
+    w.key("config").begin_object();
+    for (const auto& [key, value] : config_) w.kv(key, value);
+    w.end_object();
+    w.key("cost_model").begin_object();
+    const CostModel model;
+    w.kv("alpha", model.alpha).kv("beta", model.beta);
+    w.end_object();
+    w.key("runs").begin_array();
+    for (const Row& row : rows_) {
+      w.begin_object();
+      w.kv("algo", row.algo);
+      w.kv("ranks", row.result.ranks);
+      w.kv("ok", row.result.ok);
+      if (!row.result.ok) w.kv("error", row.result.error);
+      w.kv("norm", row.norm);
+      obs::balance_report_json(w, row.result.rep);
+      w.kv("modeled_time", row.result.modeled_time);
+      w.key("metrics");
+      row.result.metrics.to_json(w);
+      w.key("rounds");
+      obs::rounds_json(w, row.result.rounds);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(w.str().data(), 1, w.str().size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write run report to '%s'\n", path.c_str());
+    }
+  }
+
+  struct Row {
+    std::string algo;
+    double norm;
+    RunResult result;
+  };
+  std::string bench_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Row> rows_;
+  bool all_ok_ = true;
+};
 
 }  // namespace octbal

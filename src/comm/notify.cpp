@@ -5,12 +5,14 @@
 #include <cstdint>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace octbal {
 
 std::vector<std::vector<int>> notify_naive(
     SimComm& comm, const std::vector<std::vector<int>>& receivers) {
+  OBS_SPAN("notify_naive");
   const int p = comm.size();
   assert(static_cast<int>(receivers.size()) == p);
   // N <- Allgather(|R|); R <- Allgatherv(R, N, O); scan (Figure 12).
@@ -35,6 +37,7 @@ std::vector<std::vector<int>> notify_naive(
 std::vector<std::vector<int>> notify_ranges(
     SimComm& comm, const std::vector<std::vector<int>>& receivers,
     int max_ranges) {
+  OBS_SPAN("notify_ranges");
   const int p = comm.size();
   assert(max_ranges >= 1);
   // Encode each sorted receiver list as <= max_ranges intervals by keeping
@@ -84,6 +87,7 @@ std::vector<std::vector<int>> notify_ranges(
 
 std::vector<std::vector<int>> notify_dc(
     SimComm& comm, const std::vector<std::vector<int>>& receivers) {
+  OBS_SPAN("notify_dc");
   const int p = comm.size();
   // Knowledge at rank q: pairs (receiver, original sender).  The invariant
   // (Eq. 2): after round l, rank q holds exactly the pairs whose receiver
@@ -100,8 +104,10 @@ std::vector<std::vector<int>> notify_dc(
   }
   int levels = 0;
   while ((1 << levels) < p) ++levels;
+  comm.metrics().scalar("notify/rounds").add(0, levels);
 
   for (int l = 0; l < levels; ++l) {
+    OBS_SPAN("notify_round");
     const int bit = 1 << l;
     const int mod = bit << 1;
     // Post: each rank forwards the half of its knowledge whose receivers
@@ -157,6 +163,7 @@ std::vector<std::vector<NotifyPayload>> notify_dc_payload(
     SimComm& comm,
     const std::vector<std::vector<std::pair<int, std::vector<std::uint8_t>>>>&
         outgoing) {
+  OBS_SPAN("notify_dc_payload");
   const int p = comm.size();
   assert(static_cast<int>(outgoing.size()) == p);
   struct Item {
@@ -205,7 +212,9 @@ std::vector<std::vector<NotifyPayload>> notify_dc_payload(
   }
   int levels = 0;
   while ((1 << levels) < p) ++levels;
+  comm.metrics().scalar("notify/rounds").add(0, levels);
   for (int l = 0; l < levels; ++l) {
+    OBS_SPAN("notify_round");
     const int bit = 1 << l;
     const int mod = bit << 1;
     par::parallel_for_ranks(p, [&](int q) {

@@ -3,14 +3,24 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
+
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
 
 namespace octbal {
 
 SimComm::SimComm(int nranks)
     : outbox_(nranks),
       inbox_(nranks),
-      send_mu_(std::make_unique<std::mutex[]>(nranks)) {
+      send_mu_(std::make_unique<std::mutex[]>(nranks)),
+      metrics_(std::make_unique<obs::Metrics>(nranks)) {
   assert(nranks >= 1);
+  c_msgs_sent_ = &metrics_->counter("comm/msgs_sent");
+  c_bytes_sent_ = &metrics_->counter("comm/bytes_sent");
+  c_msgs_recv_ = &metrics_->counter("comm/msgs_recv");
+  c_bytes_recv_ = &metrics_->counter("comm/bytes_recv");
+  h_msg_bytes_ = &metrics_->histogram("comm/msg_bytes");
 }
 
 void SimComm::send(int from, int to, std::vector<std::uint8_t> data) {
@@ -26,10 +36,17 @@ void SimComm::send(int from, int to, std::vector<std::uint8_t> data) {
 }
 
 void SimComm::deliver() {
+  OBS_SPAN("deliver");
+  Timer barrier_timer;
+  Round round;
   // Per-rank α–β cost of this round: the critical path is the maximum over
   // ranks of (bytes sent + received, messages sent + received).
   std::vector<CommStats> per_rank(outbox_.size());
   for (auto& src : outbox_) {
+    // Aggregate this source's traffic per destination for the round
+    // matrix (sources are visited in rank order, so entries come out
+    // sorted by (from, to)).
+    std::map<int, RoundEntry> by_dest;
     for (auto& p : src) {
       stats_.messages += 1;
       stats_.bytes += p.data.size();
@@ -37,10 +54,28 @@ void SimComm::deliver() {
       per_rank[p.from].bytes += p.data.size();
       per_rank[p.to].messages += 1;
       per_rank[p.to].bytes += p.data.size();
+      c_msgs_sent_->add(p.from);
+      c_bytes_sent_->add(p.from, p.data.size());
+      c_msgs_recv_->add(p.to);
+      c_bytes_recv_->add(p.to, p.data.size());
+      h_msg_bytes_->record(p.from, p.data.size());
+      if (record_rounds_) {
+        RoundEntry& e = by_dest[p.to];
+        e.from = p.from;
+        e.to = p.to;
+        e.messages += 1;
+        e.bytes += p.data.size();
+      }
       inbox_[p.to].push_back(SimMessage{p.from, std::move(p.data)});
     }
     src.clear();
+    for (auto& [to, e] : by_dest) {
+      round.total.messages += e.messages;
+      round.total.bytes += e.bytes;
+      round.entries.push_back(e);
+    }
   }
+  if (record_rounds_) rounds_.push_back(std::move(round));
   double worst = 0.0;
   for (const auto& s : per_rank) worst = std::max(worst, model_.time(s));
   modeled_time_ += worst;
@@ -64,6 +99,7 @@ void SimComm::deliver() {
                        });
     }
   }
+  barrier_seconds_ += barrier_timer.seconds();
 }
 
 std::vector<SimMessage> SimComm::recv_all(int rank) {
@@ -81,6 +117,11 @@ void SimComm::charge_collective(std::size_t total_bytes) {
   s.messages = static_cast<std::uint64_t>(p) * logp;
   s.bytes = total_bytes;
   stats_ += s;
+  // Collectives are engine-level: no owning rank, so they land in scalar
+  // metrics rather than the per-rank slots.
+  metrics_->scalar("comm/collectives").add(0);
+  metrics_->scalar("comm/collective_msgs").add(0, s.messages);
+  metrics_->scalar("comm/collective_bytes").add(0, s.bytes);
   // Critical path: every rank receives the fully replicated payload over a
   // logarithmic number of rounds.
   modeled_time_ += model_.time(CommStats{logp, total_bytes});
@@ -89,6 +130,11 @@ void SimComm::charge_collective(std::size_t total_bytes) {
 void SimComm::reset_stats() {
   stats_ = CommStats{};
   modeled_time_ = 0.0;
+  rounds_.clear();
+  barrier_seconds_ = 0.0;
+  // The metrics registry intentionally keeps accumulating: snapshots are
+  // whole-run records, and benches that segment phases construct a fresh
+  // SimComm per run.
 }
 
 }  // namespace octbal

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace octbal {
 
@@ -107,6 +108,40 @@ class SimComm {
   /// Exact totals since construction.
   const CommStats& stats() const { return stats_; }
 
+  /// The run's metrics registry (one slot per simulated rank): the engine
+  /// feeds per-rank send/recv counters and the message-size histogram;
+  /// the pipelines (balance, ghost, nodes) add their own counters.  All
+  /// registry contents are deterministic for any thread count.
+  obs::Metrics& metrics() { return *metrics_; }
+  const obs::Metrics& metrics() const { return *metrics_; }
+
+  /// One deliver() round's sparse send/recv matrix: who sent how much to
+  /// whom, aggregated per (from, to) edge and sorted by it.
+  struct RoundEntry {
+    std::int32_t from = 0;
+    std::int32_t to = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct Round {
+    std::vector<RoundEntry> entries;
+    CommStats total;  ///< sums over the entries
+  };
+
+  /// Per-round matrices since construction (or the last reset_stats()),
+  /// one entry per deliver() call — empty rounds included, so indices
+  /// align with the pipeline's barrier structure.
+  const std::vector<Round>& rounds() const { return rounds_; }
+
+  /// Matrices are recorded by default (they are small: one aggregated
+  /// edge per communicating pair per round); disable for huge runs.
+  void set_record_rounds(bool on) { record_rounds_ = on; }
+
+  /// Wall-clock seconds this communicator has spent inside deliver()
+  /// (the serial barrier work); pipelines subtract it from phase wall
+  /// times so CPU attribution excludes barrier time.
+  double barrier_seconds() const { return barrier_seconds_; }
+
   /// Modeled communication time so far: sum over delivery rounds of the
   /// per-rank critical path (max over ranks of that round's α–β cost).
   double modeled_time() const { return modeled_time_; }
@@ -144,6 +179,16 @@ class SimComm {
   double modeled_time_ = 0.0;
   bool scramble_ = false;
   std::uint64_t scramble_state_ = 0;
+  std::unique_ptr<obs::Metrics> metrics_;
+  std::vector<Round> rounds_;
+  bool record_rounds_ = true;
+  double barrier_seconds_ = 0.0;
+  // Cached registry entries for the delivery loop (lookup is mutexed).
+  obs::Counter* c_msgs_sent_ = nullptr;
+  obs::Counter* c_bytes_sent_ = nullptr;
+  obs::Counter* c_msgs_recv_ = nullptr;
+  obs::Counter* c_bytes_recv_ = nullptr;
+  obs::Histogram* h_msg_bytes_ = nullptr;
 };
 
 }  // namespace octbal

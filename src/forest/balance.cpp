@@ -8,6 +8,7 @@
 #include "core/linear.hpp"
 #include "core/neighborhood.hpp"
 #include "core/seeds.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -100,6 +101,7 @@ void linearize_treeocts(std::vector<TreeOct<D>>& a) {
 
 template <int D>
 BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
+  OBS_SPAN("balance");
   const int P = f.num_ranks();
   const int k = opt.k == 0 ? D : opt.k;
   assert(1 <= k && k <= D);
@@ -109,6 +111,16 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   rep.octants_before = f.global_num_octants();
   const CommStats stats0 = comm.stats();
   double modeled0 = comm.modeled_time();
+  const double barrier0 = comm.barrier_seconds();
+
+  // Registry entries are resolved before the parallel regions (the by-name
+  // lookup takes a lock; per-rank add()s do not).
+  obs::Metrics& met = comm.metrics();
+  obs::Counter& c_queries = met.counter("balance/queries_sent");
+  obs::Counter& c_responses = met.counter("balance/response_items");
+  obs::Counter& c_leaves = met.counter("balance/leaves_after");
+  obs::Histogram& h_queries_per_dest =
+      met.histogram("balance/queries_per_dest");
 
   // Rank bodies run concurrently between barriers (par::parallel_for_ranks),
   // so every per-rank measurement lands in a preassigned slot and is
@@ -126,7 +138,9 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   // Phase 1: Local balance — per rank, per (tree, contiguous run).
   // ------------------------------------------------------------------
   {
+    OBS_SPAN("local_balance");
     par::parallel_for_ranks(P, [&](int r) {
+      OBS_SPAN_RANK("local_balance", r);
       Timer t;
       auto& mine = f.local(r);
       std::vector<TreeOct<D>> out;
@@ -152,8 +166,10 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   std::vector<std::vector<std::vector<WireOct<D>>>> qsend(P);
   std::vector<std::vector<int>> receivers(P);
   {
+    OBS_SPAN("build_queries");
     std::fill(rank_count.begin(), rank_count.end(), 0);
     par::parallel_for_ranks(P, [&](int r) {
+      OBS_SPAN_RANK("build_queries", r);
       Timer t;
       qsend[r].assign(P, {});
       std::vector<std::size_t> last_mark(P, static_cast<std::size_t>(-1));
@@ -221,11 +237,17 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
         }
       }
       for (int dest = 0; dest < P; ++dest) {
-        if (!qsend[r][dest].empty()) receivers[r].push_back(dest);
+        if (!qsend[r][dest].empty()) {
+          receivers[r].push_back(dest);
+          h_queries_per_dest.record(r, qsend[r][dest].size());
+        }
       }
       rank_secs[r] = t.seconds();
     });
-    for (int r = 0; r < P; ++r) rep.queries_sent += rank_count[r];
+    for (int r = 0; r < P; ++r) {
+      rep.queries_sent += rank_count[r];
+      c_queries.add(r, rank_count[r]);
+    }
     rep.t_query_response += reduce_secs();
   }
 
@@ -239,9 +261,13 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   if (fused) {
     // Fused mode: the query octants ride along the Notify rounds as
     // payloads (production-p4est style), so pattern reversal and query
-    // exchange are one collective step.
+    // exchange are one collective step.  Wall time spent in deliver()
+    // barriers inside the rounds is excluded from the phase's CPU share
+    // (the α–β model already charges the communication).
+    OBS_SPAN("notify");
     const CommStats before = comm.stats();
     const double mbefore = comm.modeled_time();
+    const double bbefore = comm.barrier_seconds();
     Timer t;
     std::vector<std::vector<std::pair<int, std::vector<std::uint8_t>>>> out(P);
     par::parallel_for_ranks(P, [&](int r) {
@@ -268,25 +294,36 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
       }
     });
     notify_model_time = comm.modeled_time() - mbefore;
-    rep.t_notify = t.seconds() + notify_model_time;
+    rep.t_notify = std::max(0.0, t.seconds() -
+                                     (comm.barrier_seconds() - bbefore)) +
+                   notify_model_time;
     rep.notify_comm.messages = comm.stats().messages - before.messages;
     rep.notify_comm.bytes = comm.stats().bytes - before.bytes;
   } else {
     {
+      OBS_SPAN("notify");
       const CommStats before = comm.stats();
       const double mbefore = comm.modeled_time();
+      const double bbefore = comm.barrier_seconds();
       Timer t;
       (void)notify(opt.notify_algo, comm, receivers, opt.notify_max_ranges);
       notify_model_time = comm.modeled_time() - mbefore;
-      rep.t_notify = t.seconds() + notify_model_time;
+      rep.t_notify = std::max(0.0, t.seconds() -
+                                       (comm.barrier_seconds() - bbefore)) +
+                     notify_model_time;
       rep.notify_comm.messages = comm.stats().messages - before.messages;
       rep.notify_comm.bytes = comm.stats().bytes - before.bytes;
     }
 
     // ----------------------------------------------------------------
     // Phase 2c: exchange the queries (self-queries bypass the network).
+    // The phase timer pauses across the deliver() barrier, so only the
+    // pack/unpack compute is attributed here.
     // ----------------------------------------------------------------
+    OBS_SPAN("exchange_queries");
+    Timer t;
     par::parallel_for_ranks(P, [&](int r) {
+      OBS_SPAN_RANK("post_queries", r);
       for (int dest = 0; dest < P; ++dest) {
         if (qsend[r][dest].empty()) continue;
         if (dest == r) {
@@ -297,12 +334,16 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
         }
       }
     });
+    t.pause();
     comm.deliver();
+    t.resume();
     par::parallel_for_ranks(P, [&](int r) {
+      OBS_SPAN_RANK("recv_queries", r);
       for (const auto& m : comm.recv_all(r)) {
         qrecv[r].push_back({m.from, SimComm::decode_items<WireOct<D>>(m)});
       }
     });
+    rep.t_query_response += t.seconds();
   }
 
   // ------------------------------------------------------------------
@@ -311,8 +352,10 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   // ------------------------------------------------------------------
   std::vector<std::vector<std::pair<int, std::vector<WirePair<D>>>>> rrecv(P);
   {
+    OBS_SPAN("response");
     std::fill(rank_count.begin(), rank_count.end(), 0);
     par::parallel_for_ranks(P, [&](int r) {
+      OBS_SPAN_RANK("response", r);
       Timer t;
       const auto& mine = f.local(r);
       const auto runs = tree_runs(mine);
@@ -369,21 +412,30 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
       }
       rank_secs[r] = t.seconds();
     });
+    Timer t;
+    t.pause();
     comm.deliver();
+    t.resume();
     par::parallel_for_ranks(P, [&](int r) {
+      OBS_SPAN_RANK("recv_responses", r);
       for (const auto& m : comm.recv_all(r)) {
         rrecv[r].push_back({m.from, SimComm::decode_items<WirePair<D>>(m)});
       }
     });
-    for (int r = 0; r < P; ++r) rep.response_items += rank_count[r];
-    rep.t_query_response += reduce_secs();
+    for (int r = 0; r < P; ++r) {
+      rep.response_items += rank_count[r];
+      c_responses.add(r, rank_count[r]);
+    }
+    rep.t_query_response += reduce_secs() + t.seconds();
   }
 
   // ------------------------------------------------------------------
   // Phase 4: Local rebalance.
   // ------------------------------------------------------------------
   {
+    OBS_SPAN("local_rebalance");
     par::parallel_for_ranks(P, [&](int r) {
+      OBS_SPAN_RANK("local_rebalance", r);
       Timer t;
       auto& mine = f.local(r);
       if (opt.grouped_rebalance) {
@@ -445,7 +497,10 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
     f.refresh_markers();
     rep.t_local_rebalance = reduce_secs();
   }
-  for (int r = 0; r < P; ++r) rep.subtree += rank_subtree[r];
+  for (int r = 0; r < P; ++r) {
+    rep.subtree += rank_subtree[r];
+    c_leaves.add(r, f.local(r).size());
+  }
 
   rep.comm.messages = comm.stats().messages - stats0.messages -
                       rep.notify_comm.messages;
@@ -453,6 +508,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   // Attribute the modeled communication time of the query/response
   // exchanges to that phase; notify accounted for its own share above.
   rep.t_query_response += (comm.modeled_time() - modeled0) - notify_model_time;
+  rep.t_barrier = comm.barrier_seconds() - barrier0;
   rep.octants_after = f.global_num_octants();
   return rep;
 }

@@ -57,6 +57,10 @@ struct BalanceReport {
   double t_notify = 0;
   double t_query_response = 0;
   double t_local_rebalance = 0;
+  /// Wall time spent inside SimComm::deliver() barriers during the run —
+  /// serial engine work excluded from the per-phase CPU attribution above
+  /// (the communication itself is charged through the α–β model instead).
+  double t_barrier = 0;
   double total() const {
     return t_local_balance + t_notify + t_query_response + t_local_rebalance;
   }

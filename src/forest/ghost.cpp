@@ -6,6 +6,7 @@
 #include "core/balance_check.hpp"
 #include "core/linear.hpp"
 #include "core/neighborhood.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace octbal {
@@ -44,17 +45,22 @@ bool adjacent_to_any(const Connectivity<D>& conn, const TreeOct<D>& g, int k,
 template <int D>
 GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
                                 NotifyAlgo notify_algo) {
+  OBS_SPAN("ghost");
   const int P = f.num_ranks();
   const auto& conn = f.connectivity();
   GhostLayer<D> ghost;
   ghost.per_rank.resize(P);
-  const CommStats stats0 = comm.stats();
+
+  obs::Metrics& met = comm.metrics();
+  obs::Counter& c_candidates = met.counter("ghost/candidates_sent");
+  obs::Counter& c_entries = met.counter("ghost/entries");
 
   // Sender side: my leaf o is a (conservative) ghost candidate for every
   // rank owning part of a same-size neighbor piece of o.
   std::vector<std::vector<std::vector<WireGhost<D>>>> send(P);
   std::vector<std::vector<int>> receivers(P);
   par::parallel_for_ranks(P, [&](int r) {
+    OBS_SPAN_RANK("ghost_candidates", r);
     send[r].assign(P, {});
     std::vector<std::size_t> last(P, static_cast<std::size_t>(-1));
     const auto& mine = f.local(r);
@@ -76,11 +82,21 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
       }
     }
     for (int q = 0; q < P; ++q) {
-      if (!send[r][q].empty()) receivers[r].push_back(q);
+      if (!send[r][q].empty()) {
+        receivers[r].push_back(q);
+        c_candidates.add(r, send[r][q].size());
+      }
     }
   });
 
+  // The pattern reversal does its own exchanges; attribute them to the
+  // ghost build instead of dropping them on the floor.
+  const CommStats notify0 = comm.stats();
   (void)notify(notify_algo, comm, receivers);
+  ghost.notify_traffic.messages = comm.stats().messages - notify0.messages;
+  ghost.notify_traffic.bytes = comm.stats().bytes - notify0.bytes;
+  met.scalar("ghost/notify_msgs").add(0, ghost.notify_traffic.messages);
+  met.scalar("ghost/notify_bytes").add(0, ghost.notify_traffic.bytes);
 
   const CommStats pre = comm.stats();
   par::parallel_for_ranks(P, [&](int r) {
@@ -94,6 +110,7 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
 
   // Receiver side: exact filter against the rank's own leaves.
   par::parallel_for_ranks(P, [&](int r) {
+    OBS_SPAN_RANK("ghost_filter", r);
     std::map<int, std::vector<Octant<D>>> mine;
     for (const auto& to : f.local(r)) mine[to.tree].push_back(to.oct);
     auto& out = ghost.per_rank[r];
@@ -110,10 +127,10 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
     std::sort(out.begin(), out.end(),
               [](const auto& a, const auto& b) { return a.oct < b.oct; });
     out.erase(std::unique(out.begin(), out.end()), out.end());
+    c_entries.add(r, out.size());
   });
   ghost.traffic.messages = comm.stats().messages - pre.messages;
   ghost.traffic.bytes = comm.stats().bytes - pre.bytes;
-  (void)stats0;
   return ghost;
 }
 

@@ -28,7 +28,15 @@ struct GhostLayer {
     friend bool operator==(const Entry&, const Entry&) = default;
   };
   std::vector<std::vector<Entry>> per_rank;
-  CommStats traffic;  ///< exchange volume (excluding the notify step)
+  CommStats traffic;         ///< candidate-exchange volume
+  CommStats notify_traffic;  ///< the pattern-reversal step's own volume
+  /// Total traffic of building the layer (exchange + notify) — what a
+  /// report should charge the ghost build with.
+  CommStats total_traffic() const {
+    CommStats t = traffic;
+    t += notify_traffic;
+    return t;
+  }
 };
 
 template <int D>

@@ -5,6 +5,7 @@
 #include "core/linear.hpp"
 #include "core/search.hpp"
 #include "forest/forest.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace octbal {
@@ -121,6 +122,7 @@ std::vector<GeneralNodeKey<D>> node_orbit(const Connectivity<D>& conn,
 template <int D>
 NodeNumbering enumerate_nodes_general(const std::vector<TreeOct<D>>& leaves,
                                       const Connectivity<D>& conn) {
+  OBS_SPAN("enumerate_nodes_general");
   NodeNumbering nn;
   const coord_t R = root_len<D>;
   std::vector<std::vector<Octant<D>>> per_tree(conn.num_trees());
@@ -192,6 +194,7 @@ template <int D>
 NodeNumbering enumerate_nodes(const std::vector<TreeOct<D>>& leaves,
                               const Connectivity<D>& conn) {
   if (!conn.is_lattice()) return enumerate_nodes_general(leaves, conn);
+  OBS_SPAN("enumerate_nodes");
   NodeNumbering nn;
   const GlobalCoord<D> ext = domain_extent(conn);
 
@@ -283,6 +286,7 @@ NodeNumbering enumerate_nodes(const std::vector<TreeOct<D>>& leaves,
 
 template <int D>
 NodeOwnership assign_node_owners(const Forest<D>& f, const NodeNumbering& nn) {
+  OBS_SPAN("assign_node_owners");
   NodeOwnership no;
   no.owner.assign(nn.num_nodes, f.num_ranks());
   no.nodes_per_rank.assign(f.num_ranks(), 0);
@@ -304,11 +308,72 @@ NodeOwnership assign_node_owners(const Forest<D>& f, const NodeNumbering& nn) {
   return no;
 }
 
+template <int D>
+NodeOwnership assign_node_owners(const Forest<D>& f, const NodeNumbering& nn,
+                                 SimComm& comm) {
+  OBS_SPAN("node_owner_sync");
+  NodeOwnership no = assign_node_owners(f, nn);
+  const int P = f.num_ranks();
+
+  // Which ranks touch each node, deduplicated with a per-rank stamp pass
+  // (element order is rank-major, so one sweep per rank suffices).
+  std::vector<int> stamp(nn.num_nodes, -1);
+  std::vector<std::vector<std::vector<std::int64_t>>> share(P);
+  for (auto& s : share) s.assign(P, {});
+  std::size_t e = 0;
+  for (int r = 0; r < P; ++r) {
+    for (std::size_t i = 0; i < f.local(r).size(); ++i, ++e) {
+      for (int c = 0; c < num_children<D>; ++c) {
+        const std::int64_t id = nn.element_nodes[e][c];
+        if (stamp[id] == r) continue;
+        stamp[id] = r;
+        if (no.owner[id] != r) share[no.owner[id]][r].push_back(id);
+      }
+    }
+  }
+
+  // The sync: each owner ships the sorted shared-node id list to every
+  // co-touching rank (how a distributed DOF numbering distributes the
+  // owner's global indices).  Flows through the simulated communicator so
+  // every message and byte lands in the stats and the metrics registry.
+  const CommStats pre = comm.stats();
+  obs::Counter& c_shared = comm.metrics().counter("nodes/shared_ids_sent");
+  par::parallel_for_ranks(P, [&](int r) {
+    OBS_SPAN_RANK("node_owner_sync", r);
+    for (int q = 0; q < P; ++q) {
+      if (share[r][q].empty()) continue;
+      c_shared.add(r, share[r][q].size());
+      comm.send_items<std::int64_t>(
+          r, q, std::span<const std::int64_t>(share[r][q]));
+    }
+  });
+  comm.deliver();
+  std::vector<std::uint64_t> shared_per_rank(P, 0);
+  par::parallel_for_ranks(P, [&](int r) {
+    for (const auto& m : comm.recv_all(r)) {
+      shared_per_rank[r] += m.data.size() / sizeof(std::int64_t);
+    }
+  });
+  no.traffic.messages = comm.stats().messages - pre.messages;
+  no.traffic.bytes = comm.stats().bytes - pre.bytes;
+  for (std::int64_t id = 0; id < static_cast<std::int64_t>(nn.num_nodes);
+       ++id) {
+    // stamp holds the highest touching rank; a node is shared when any
+    // rank other than the owner touches it.
+    no.shared_nodes += stamp[id] >= 0 && stamp[id] != no.owner[id];
+  }
+  obs::Counter& c_recv = comm.metrics().counter("nodes/shared_ids_recv");
+  for (int r = 0; r < P; ++r) c_recv.add(r, shared_per_rank[r]);
+  return no;
+}
+
 #define OCTBAL_INSTANTIATE(D)                                         \
   template NodeNumbering enumerate_nodes<D>(                          \
       const std::vector<TreeOct<D>>&, const Connectivity<D>&);        \
   template NodeOwnership assign_node_owners<D>(const Forest<D>&,      \
-                                               const NodeNumbering&);
+                                               const NodeNumbering&); \
+  template NodeOwnership assign_node_owners<D>(                       \
+      const Forest<D>&, const NodeNumbering&, SimComm&);
 OCTBAL_INSTANTIATE(1)
 OCTBAL_INSTANTIATE(2)
 OCTBAL_INSTANTIATE(3)

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/simcomm.hpp"
 #include "forest/forest.hpp"
 
 namespace octbal {
@@ -54,9 +55,25 @@ NodeNumbering enumerate_nodes(const std::vector<TreeOct<D>>& leaves,
 struct NodeOwnership {
   std::vector<int> owner;                   ///< per node id
   std::vector<std::uint64_t> nodes_per_rank;
+  /// Nodes touched by more than one rank (the partition-boundary layer a
+  /// distributed DOF numbering must synchronize).
+  std::uint64_t shared_nodes = 0;
+  /// Volume of the ownership sync (zero when no communicator was given).
+  CommStats traffic;
 };
 
+/// Serial convention only: each node is owned by the lowest touching rank.
 template <int D>
 NodeOwnership assign_node_owners(const Forest<D>& f, const NodeNumbering& nn);
+
+/// Distributed version: additionally performs the ownership sync each
+/// owner rank owes its co-touching ranks — the owner ships the ids of
+/// shared nodes to every other rank that touches them, through \p comm,
+/// so the exchange's messages/bytes are measured and attributed (they
+/// were previously invisible in every report).  Feeds the registry under
+/// "nodes/*" and fills NodeOwnership::traffic / shared_nodes.
+template <int D>
+NodeOwnership assign_node_owners(const Forest<D>& f, const NodeNumbering& nn,
+                                 SimComm& comm);
 
 }  // namespace octbal

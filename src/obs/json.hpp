@@ -1,0 +1,138 @@
+#pragma once
+/// \file json.hpp
+/// \brief A minimal streaming JSON writer for the observability sinks
+/// (trace files, metric snapshots, bench run reports).
+///
+/// No external dependency: the writer tracks the container nesting and
+/// inserts commas itself, so call sites read like the document they emit.
+/// Keys are written with key(), values with value(); begin_object() /
+/// begin_array() open containers.  Strings are escaped per RFC 8259;
+/// non-finite doubles degrade to null (JSON has no NaN/Inf).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace octbal::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    prefix();
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    prefix();
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    prefix();
+    escape(k);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    prefix();
+    escape(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    prefix();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double d) {
+    prefix();
+    if (!std::isfinite(d)) {
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  /// Shorthand for key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Insert the separating comma where the grammar needs one.  A value
+  /// directly after key() never takes a comma; any later sibling does.
+  void prefix() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+
+  void escape(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per open container: "wrote a member already"
+  bool pending_key_ = false;
+};
+
+}  // namespace octbal::obs

@@ -1,0 +1,182 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace octbal::obs {
+
+Reduction reduce(const std::vector<std::uint64_t>& per_rank) {
+  Reduction r;
+  if (per_rank.empty()) return r;
+  r.min = UINT64_MAX;
+  for (const std::uint64_t v : per_rank) {
+    r.min = std::min(r.min, v);
+    r.max = std::max(r.max, v);
+    r.total += v;
+  }
+  const double n = static_cast<double>(per_rank.size());
+  r.mean = static_cast<double>(r.total) / n;
+  std::vector<std::uint64_t> sorted = per_rank;
+  std::sort(sorted.begin(), sorted.end());
+  r.median = static_cast<double>(sorted[(sorted.size() - 1) / 2]);
+  r.imbalance = r.mean > 0 ? static_cast<double>(r.max) / r.mean : 0.0;
+  return r;
+}
+
+Histogram::Merged Histogram::merged() const {
+  Merged m;
+  m.min = UINT64_MAX;
+  for (const Slot& s : slots_) {
+    for (int b = 0; b < kBuckets; ++b) m.buckets[b] += s.buckets[b];
+    m.count += s.count;
+    m.sum += s.sum;
+    m.min = std::min(m.min, s.min);
+    m.max = std::max(m.max, s.max);
+  }
+  if (m.count == 0) m.min = 0;
+  return m;
+}
+
+double Histogram::Merged::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The (0-based) position of the q-th sample among `count` sorted samples.
+  const double pos = q * static_cast<double>(count - 1);
+  std::uint64_t before = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (pos < static_cast<double>(before + in_bucket)) {
+      // Interpolate within the bucket's value range [lo, hi].
+      const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+      const double hi =
+          b == 0 ? 0.0 : static_cast<double>((1ull << (b - 1)) * 2 - 1);
+      const double frac = in_bucket == 1
+                              ? 0.0
+                              : (pos - static_cast<double>(before)) /
+                                    static_cast<double>(in_bucket - 1);
+      const double v = lo + frac * (hi - lo);
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    before += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+std::vector<std::uint64_t> Histogram::per_rank_counts() const {
+  std::vector<std::uint64_t> v;
+  v.reserve(slots_.size());
+  for (const Slot& s : slots_) v.push_back(s.count);
+  return v;
+}
+
+std::vector<std::uint64_t> Histogram::per_rank_sums() const {
+  std::vector<std::uint64_t> v;
+  v.reserve(slots_.size());
+  for (const Slot& s : slots_) v.push_back(s.sum);
+  return v;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(nranks_);
+  return *slot;
+}
+
+Counter& Metrics::scalar(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = scalars_[name];
+  if (!slot) slot = std::make_unique<Counter>(1);
+  return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(nranks_);
+  return *slot;
+}
+
+Snapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  s.nranks = nranks_;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->per_rank();
+  for (const auto& [name, c] : scalars_) s.counters[name] = c->per_rank();
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::Hist out;
+    out.per_rank_counts = h->per_rank_counts();
+    out.per_rank_sums = h->per_rank_sums();
+    out.merged = h->merged();
+    s.histograms[name] = std::move(out);
+  }
+  return s;
+}
+
+std::string Snapshot::serialize() const {
+  std::string out;
+  out += "nranks " + std::to_string(nranks) + "\n";
+  for (const auto& [name, v] : counters) {
+    out += "counter " + name;
+    for (const std::uint64_t x : v) out += " " + std::to_string(x);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += "hist " + name + " count";
+    for (const std::uint64_t x : h.per_rank_counts)
+      out += " " + std::to_string(x);
+    out += " sum";
+    for (const std::uint64_t x : h.per_rank_sums)
+      out += " " + std::to_string(x);
+    out += " min " + std::to_string(h.merged.min) + " max " +
+           std::to_string(h.merged.max) + " buckets";
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.merged.buckets[b] == 0) continue;
+      out += " " + std::to_string(b) + ":" +
+             std::to_string(h.merged.buckets[b]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void Snapshot::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) {
+    const Reduction r = reduce(v);
+    w.key(name).begin_object();
+    w.kv("min", r.min).kv("max", r.max).kv("total", r.total);
+    w.kv("mean", r.mean).kv("median", r.median).kv("imbalance", r.imbalance);
+    w.key("per_rank").begin_array();
+    for (const std::uint64_t x : v) w.value(x);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    const auto& m = h.merged;
+    w.key(name).begin_object();
+    w.kv("count", m.count).kv("sum", m.sum).kv("min", m.min).kv("max", m.max);
+    w.kv("p50", m.quantile(0.50));
+    w.kv("p90", m.quantile(0.90));
+    w.kv("p99", m.quantile(0.99));
+    const Reduction cr = reduce(h.per_rank_counts);
+    w.kv("count_imbalance", cr.imbalance);
+    w.key("log2_buckets").begin_object();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (m.buckets[b] == 0) continue;
+      w.kv(std::to_string(b), m.buckets[b]);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace octbal::obs

@@ -1,0 +1,170 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Named counters and histograms with per-simulated-rank slots and
+/// min/max/mean/median/imbalance reductions, mirroring sc_statistics.
+///
+/// Every metric keeps one slot per simulated rank.  A rank body updates
+/// only its own slot, which is exactly the discipline the BSP engine
+/// already enforces (one thread per rank body between barriers), so the
+/// hot path takes no lock and no atomic — and, crucially, every
+/// counter-derived value is *byte-identical for any thread count*: what a
+/// slot accumulates depends only on the rank's inputs, never on thread
+/// scheduling.  Only the by-name lookup is mutex-protected (metrics may be
+/// created lazily from inside rank bodies); references returned by the
+/// lookup are stable for the registry's lifetime.
+///
+/// Reductions over ranks (computed at phase barriers, from the
+/// orchestrating thread) follow the sc_statistics convention the p4est
+/// papers report: min, max, mean, median, and the imbalance ratio
+/// max/mean that the paper's weak-scaling argument hinges on.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace octbal::obs {
+
+class JsonWriter;
+
+/// Reduction of one per-rank value set (sc_statistics style).
+struct Reduction {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t total = 0;
+  double mean = 0;
+  double median = 0;     ///< lower median of the sorted per-rank values
+  double imbalance = 0;  ///< max / mean; 0 when the mean is 0
+};
+
+Reduction reduce(const std::vector<std::uint64_t>& per_rank);
+
+/// A monotone counter with one slot per rank (or a single engine-level
+/// slot, see Metrics::scalar).
+class Counter {
+ public:
+  explicit Counter(int slots) : v_(static_cast<std::size_t>(slots)) {}
+
+  void add(int slot, std::uint64_t n = 1) {
+    v_[static_cast<std::size_t>(slot)] += n;
+  }
+  const std::vector<std::uint64_t>& per_rank() const { return v_; }
+  Reduction reduced() const { return reduce(v_); }
+
+ private:
+  std::vector<std::uint64_t> v_;
+};
+
+/// A log2-bucketed histogram of non-negative integer samples (message
+/// sizes, list lengths).  Bucket 0 holds the value 0; bucket b >= 1 holds
+/// [2^(b-1), 2^b).  Exact count/sum/min/max are kept per rank alongside
+/// the buckets, so the common reductions are exact and only quantiles are
+/// bucket-interpolated.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  explicit Histogram(int slots) : slots_(static_cast<std::size_t>(slots)) {}
+
+  void record(int slot, std::uint64_t value) {
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.buckets[bucket_of(value)] += 1;
+    s.count += 1;
+    s.sum += value;
+    if (value < s.min) s.min = value;
+    if (value > s.max) s.max = value;
+  }
+
+  static int bucket_of(std::uint64_t v) {
+    int b = 0;
+    while (v) {
+      ++b;
+      v >>= 1;
+    }
+    return b;
+  }
+
+  struct Merged {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  ///< 0 when empty
+    std::uint64_t max = 0;
+
+    /// Quantile estimate for q in [0, 1]: locate the bucket holding the
+    /// q-th sample and interpolate linearly across the bucket's value
+    /// range, clamped to the exact [min, max].  Deterministic: a pure
+    /// function of the (deterministic) bucket counts.
+    double quantile(double q) const;
+  };
+  Merged merged() const;
+
+  /// Per-rank sample counts (for reductions / serialization).
+  std::vector<std::uint64_t> per_rank_counts() const;
+  std::vector<std::uint64_t> per_rank_sums() const;
+
+ private:
+  struct Slot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = UINT64_MAX;
+    std::uint64_t max = 0;
+  };
+  std::vector<Slot> slots_;
+
+  friend class Metrics;
+};
+
+/// An immutable copy of a registry's contents, detached from the SimComm
+/// that produced it (bench rows outlive their communicator).
+struct Snapshot {
+  int nranks = 1;
+  std::map<std::string, std::vector<std::uint64_t>> counters;
+  struct Hist {
+    std::vector<std::uint64_t> per_rank_counts;
+    std::vector<std::uint64_t> per_rank_sums;
+    Histogram::Merged merged;
+  };
+  std::map<std::string, Hist> histograms;
+
+  /// Canonical one-line-per-metric text; the determinism tests compare
+  /// this byte-for-byte across thread counts.
+  std::string serialize() const;
+
+  /// Emit as a JSON object: counters with full reductions, histograms
+  /// with count/sum/min/max/p50/p90/p99 and the non-empty buckets.
+  void to_json(JsonWriter& w) const;
+};
+
+/// The registry: named metrics, one slot per simulated rank.
+class Metrics {
+ public:
+  explicit Metrics(int nranks) : nranks_(nranks < 1 ? 1 : nranks) {}
+
+  int nranks() const { return nranks_; }
+
+  /// Find-or-create; the returned reference is stable.  Safe to call from
+  /// rank bodies (lock only guards the name map — cache the reference
+  /// outside hot loops).
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Engine-level counter with a single slot (collectives, round counts —
+  /// quantities with no owning rank).  add() with slot 0.
+  Counter& scalar(const std::string& name);
+
+  Snapshot snapshot() const;
+
+ private:
+  const int nranks_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Counter>> scalars_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace octbal::obs

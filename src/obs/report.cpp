@@ -1,0 +1,65 @@
+#include "obs/report.hpp"
+
+namespace octbal::obs {
+
+void balance_report_json(JsonWriter& w, const BalanceReport& rep) {
+  w.key("phases").begin_object();
+  w.kv("local_balance", rep.t_local_balance);
+  w.kv("notify", rep.t_notify);
+  w.kv("query_response", rep.t_query_response);
+  w.kv("local_rebalance", rep.t_local_rebalance);
+  w.kv("total", rep.total());
+  w.kv("barrier", rep.t_barrier);
+  w.end_object();
+  w.key("comm").begin_object();
+  w.kv("messages", rep.comm.messages);
+  w.kv("bytes", rep.comm.bytes);
+  w.kv("notify_messages", rep.notify_comm.messages);
+  w.kv("notify_bytes", rep.notify_comm.bytes);
+  w.end_object();
+  w.kv("octants_before", rep.octants_before);
+  w.kv("octants_after", rep.octants_after);
+  w.kv("queries_sent", rep.queries_sent);
+  w.kv("response_items", rep.response_items);
+  w.key("subtree").begin_object();
+  w.kv("hash_queries", rep.subtree.hash_queries);
+  w.kv("hash_probes", rep.subtree.hash_probes);
+  w.kv("binary_searches", rep.subtree.binary_searches);
+  w.kv("sorted_octants", rep.subtree.sorted_octants);
+  w.kv("output_octants", rep.subtree.output_octants);
+  w.end_object();
+}
+
+void rounds_json(JsonWriter& w, const std::vector<SimComm::Round>& rounds) {
+  w.begin_array();
+  for (const auto& round : rounds) {
+    w.begin_object();
+    w.kv("messages", round.total.messages);
+    w.kv("bytes", round.total.bytes);
+    w.key("edges").begin_array();
+    for (const auto& e : round.entries) {
+      w.begin_array();
+      w.value(e.from).value(e.to).value(e.messages).value(e.bytes);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string balance_failure_json(const std::string& error, int ranks,
+                                 const BalanceReport& rep,
+                                 const Snapshot& metrics) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("error", error);
+  w.kv("ranks", ranks);
+  balance_report_json(w, rep);
+  w.key("metrics");
+  metrics.to_json(w);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace octbal::obs

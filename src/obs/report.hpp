@@ -1,0 +1,33 @@
+#pragma once
+/// \file report.hpp
+/// \brief Machine-readable run reports: the pieces shared between the
+/// bench harness (--json run reports, the BENCH_*.json perf-trajectory
+/// format) and the failure path (diagnostic dump instead of an abort).
+
+#include <string>
+
+#include "comm/simcomm.hpp"
+#include "forest/balance.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace octbal::obs {
+
+/// Emit the per-phase times and traffic of one balance run as the members
+/// of an (already open) JSON object.
+void balance_report_json(JsonWriter& w, const BalanceReport& rep);
+
+/// Emit the recorded per-round send/recv matrices: one array entry per
+/// deliver() round with totals and the sparse (from, to, messages, bytes)
+/// edges.  Writes the value only — call w.key("rounds") first.
+void rounds_json(JsonWriter& w, const std::vector<SimComm::Round>& rounds);
+
+/// Build the diagnostic report for a run whose result failed validation
+/// (e.g. an unbalanced forest): one self-contained JSON object with the
+/// error, the configuration, the per-phase report and the metric
+/// snapshot.  The harness prints this to stderr instead of aborting.
+std::string balance_failure_json(const std::string& error, int ranks,
+                                 const BalanceReport& rep,
+                                 const Snapshot& metrics);
+
+}  // namespace octbal::obs

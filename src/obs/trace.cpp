@@ -1,0 +1,216 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/json.hpp"
+
+namespace octbal::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct Event {
+  const char* name;
+  int rank;
+  std::int64_t begin_ns;
+  std::int64_t end_ns;
+};
+
+/// Per-thread event buffer.  Appends take the buffer's own mutex
+/// (uncontended except while trace_end drains a live worker); the session
+/// tag invalidates leftovers from a previous begin/end cycle lazily.
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+  std::uint64_t session = 0;
+
+  ThreadBuf();
+  ~ThreadBuf();
+};
+
+/// Process-wide session state.  Deliberately leaked (never destroyed):
+/// worker threads — and the main thread's own thread_local buffer — may
+/// outlive any static destruction order we could arrange, and their
+/// ThreadBuf destructors must always find a live registry.
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadBuf*> bufs;         // live threads
+  std::vector<Event> orphans;           // events of exited threads
+  std::string path;
+  std::atomic<std::uint64_t> session{0};  // bumped by every trace_begin/end
+  std::int64_t t0_ns = 0;               // session epoch
+  std::uint32_t next_tid = 0;
+};
+
+Registry& reg() {
+  static Registry* r = new Registry;  // leaked by design, see above
+  return *r;
+}
+
+ThreadBuf::ThreadBuf() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  tid = r.next_tid++;
+  r.bufs.push_back(this);
+}
+
+ThreadBuf::~ThreadBuf() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::erase(r.bufs, this);
+  std::lock_guard<std::mutex> lk2(mu);
+  if (session == r.session.load(std::memory_order_relaxed) &&
+      detail::g_trace_enabled.load(std::memory_order_relaxed)) {
+    r.orphans.insert(r.orphans.end(), events.begin(), events.end());
+  }
+}
+
+ThreadBuf& thread_buf() {
+  thread_local ThreadBuf buf;
+  return buf;
+}
+
+/// Collect all events of the live session, relative to t0, sorted by
+/// begin time.  Caller holds no locks.
+std::vector<TraceEvent> collect() {
+  Registry& r = reg();
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto add = [&](const Event& e, std::uint32_t tid) {
+    out.push_back(TraceEvent{e.name, e.rank, tid, e.begin_ns - r.t0_ns,
+                             e.end_ns - r.t0_ns});
+  };
+  const std::uint64_t session = r.session.load(std::memory_order_relaxed);
+  for (ThreadBuf* b : r.bufs) {
+    std::lock_guard<std::mutex> lkb(b->mu);
+    if (b->session != session) continue;
+    for (const Event& e : b->events) add(e, b->tid);
+  }
+  for (const Event& e : r.orphans) add(e, UINT32_MAX);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.begin_ns != b.begin_ns)
+                       return a.begin_ns < b.begin_ns;
+                     return a.end_ns > b.end_ns;  // outer spans first
+                   });
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  // Metadata: name the two process rows.
+  for (int pid = 1; pid <= 2; ++pid) {
+    w.begin_object();
+    w.kv("ph", "M").kv("pid", pid).kv("tid", 0).kv("name", "process_name");
+    w.key("args").begin_object();
+    w.kv("name", pid == 1 ? "octbal worker threads" : "octbal simulated ranks");
+    w.end_object();
+    w.end_object();
+  }
+  const auto emit = [&](const TraceEvent& e, int pid, std::uint32_t tid) {
+    w.begin_object();
+    w.kv("ph", "X").kv("name", e.name).kv("cat", "octbal");
+    w.kv("pid", pid).kv("tid", static_cast<std::uint64_t>(tid));
+    w.kv("ts", static_cast<double>(e.begin_ns) / 1e3);
+    w.kv("dur", static_cast<double>(e.end_ns - e.begin_ns) / 1e3);
+    if (e.rank >= 0) {
+      w.key("args").begin_object();
+      w.kv("rank", e.rank);
+      w.end_object();
+    }
+    w.end_object();
+  };
+  for (const TraceEvent& e : events) {
+    emit(e, 1, e.tid);  // real thread schedule
+    if (e.rank >= 0) {
+      emit(e, 2, static_cast<std::uint32_t>(e.rank));  // per-rank BSP view
+    }
+  }
+  w.end_array();
+  w.end_object();
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "octbal: cannot write trace to '%s'\n", path.c_str());
+  }
+}
+
+/// OCTBAL_TRACE=file.json support for arbitrary binaries: begin at static
+/// init, flush at exit.  Constructed before main-thread spans exist, so
+/// its destructor runs after the last span of main().
+struct EnvSession {
+  EnvSession() {
+    if (const char* p = std::getenv("OCTBAL_TRACE")) {
+      if (*p) trace_begin(p);
+    }
+  }
+  ~EnvSession() { trace_end(); }
+};
+EnvSession env_session;
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t trace_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void trace_record(const char* name, int rank, std::int64_t begin_ns,
+                  std::int64_t end_ns) {
+  ThreadBuf& buf = thread_buf();
+  const std::uint64_t session = reg().session.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lk(buf.mu);
+  if (buf.session != session) {
+    buf.events.clear();  // leftovers from a previous session
+    buf.session = session;
+  }
+  buf.events.push_back(Event{name, rank, begin_ns, end_ns});
+}
+
+}  // namespace detail
+
+void trace_begin(const std::string& path) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  // Bumping the session lazily invalidates every thread's previous events.
+  r.session.fetch_add(1, std::memory_order_release);
+  r.orphans.clear();
+  r.path = path;
+  r.t0_ns = detail::trace_now_ns();
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_end() {
+  if (!trace_enabled()) return;
+  const std::vector<TraceEvent> events = collect();
+  std::string path;
+  {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    path = r.path;
+    r.session.fetch_add(1, std::memory_order_release);
+    r.orphans.clear();
+    detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+  }
+  if (!path.empty()) write_chrome_trace(path, events);
+}
+
+std::vector<TraceEvent> trace_snapshot() { return collect(); }
+
+}  // namespace octbal::obs

@@ -1,0 +1,108 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Nested phase/rank span tracing with a Chrome trace_event sink.
+///
+/// OBS_SPAN("name") / OBS_SPAN_RANK("name", rank) open a RAII span that
+/// records a begin/end interval for the current scope.  Spans are tagged
+/// with the *worker thread* that executed them and, optionally, the
+/// *simulated rank* they belong to, and the sink emits both views: a
+/// "threads" process showing the real thread-pool schedule and a
+/// "simulated ranks" process showing the BSP phase structure per rank.
+/// The output is Chrome trace_event JSON — load it in Perfetto
+/// (https://ui.perfetto.dev) or chrome://tracing.
+///
+/// Cost discipline: when tracing is disabled (the default), a span is one
+/// relaxed atomic load and a branch — cheap enough to leave in the BSP hot
+/// loops (test_obs has a measured-overhead guard).  Defining
+/// OCTBAL_OBS_DISABLE at compile time removes the spans entirely.
+/// Enabling: set the OCTBAL_TRACE environment variable to an output path
+/// (any binary; the file is written at exit), or call trace_begin() /
+/// trace_end() programmatically (the bench harnesses wire this to
+/// --trace file.json).
+///
+/// Tracing records wall-clock timestamps and is therefore *not*
+/// deterministic across runs or thread counts; everything else in
+/// octbal::obs (counters, histograms, round matrices) is.  See DESIGN.md
+/// §2.8.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace octbal::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+std::int64_t trace_now_ns();
+void trace_record(const char* name, int rank, std::int64_t begin_ns,
+                  std::int64_t end_ns);
+}  // namespace detail
+
+/// Is a trace session active?  One relaxed load; safe from any thread.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Start a session writing to \p path at trace_end() (empty path: record
+/// in memory only — used by tests via trace_snapshot()).  A second
+/// trace_begin() discards events of the previous unfinished session.
+void trace_begin(const std::string& path);
+
+/// Finish the session: write the Chrome trace JSON (if a path was given),
+/// clear all buffers, and disable recording.  No-op when not tracing.
+void trace_end();
+
+/// A recorded span, for in-process inspection (tests, report summaries).
+struct TraceEvent {
+  const char* name;       ///< static string passed to the span
+  int rank;               ///< simulated rank, or -1 for engine-level spans
+  std::uint32_t tid;      ///< worker thread (small sequential id)
+  std::int64_t begin_ns;  ///< relative to the session start
+  std::int64_t end_ns;
+};
+
+/// All completed spans of the current session, sorted by begin time.
+std::vector<TraceEvent> trace_snapshot();
+
+/// RAII span.  \p name must be a string literal (or outlive the session).
+class Span {
+ public:
+  explicit Span(const char* name, int rank = -1) {
+    if (trace_enabled()) {
+      name_ = name;
+      rank_ = rank;
+      begin_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~Span() {
+    if (name_) {
+      detail::trace_record(name_, rank_, begin_ns_, detail::trace_now_ns());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr: tracing was off at entry
+  int rank_ = -1;
+  std::int64_t begin_ns_ = 0;
+};
+
+}  // namespace octbal::obs
+
+#define OCTBAL_OBS_CONCAT2(a, b) a##b
+#define OCTBAL_OBS_CONCAT(a, b) OCTBAL_OBS_CONCAT2(a, b)
+#ifndef OCTBAL_OBS_DISABLE
+#define OBS_SPAN(name) \
+  ::octbal::obs::Span OCTBAL_OBS_CONCAT(obs_span_, __COUNTER__)(name)
+#define OBS_SPAN_RANK(name, rank) \
+  ::octbal::obs::Span OCTBAL_OBS_CONCAT(obs_span_, __COUNTER__)(name, rank)
+#else
+#define OBS_SPAN(name) \
+  do {                 \
+  } while (0)
+#define OBS_SPAN_RANK(name, rank) \
+  do {                            \
+  } while (0)
+#endif

@@ -22,6 +22,9 @@ class Cli {
   /// Program name (argv[0]).
   const std::string& program() const { return program_; }
 
+  /// Every parsed --name value pair (for run-report config records).
+  const std::map<std::string, std::string>& args() const { return kv_; }
+
  private:
   std::string program_;
   std::map<std::string, std::string> kv_;

@@ -2,6 +2,12 @@
 /// \file timer.hpp
 /// \brief Wall-clock stopwatch used for phase timings in the distributed
 /// balance pipeline and the benchmark harnesses.
+///
+/// The timer can be paused and resumed: seconds() then reports only the
+/// accumulated running time.  The pipelines use this for per-phase CPU
+/// attribution under the thread pool — a phase timer is paused across
+/// SimComm::deliver() barriers so barrier wait time is charged to the
+/// communication model, not to the phase's compute.
 
 #include <chrono>
 
@@ -11,16 +17,42 @@ class Timer {
  public:
   Timer() : start_(clock::now()) {}
 
-  void reset() { start_ = clock::now(); }
-
-  /// Elapsed seconds since construction or the last reset().
-  double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+  void reset() {
+    accumulated_ = 0.0;
+    paused_ = false;
+    start_ = clock::now();
   }
+
+  /// Stop accumulating (idempotent).
+  void pause() {
+    if (paused_) return;
+    accumulated_ += running();
+    paused_ = true;
+  }
+
+  /// Continue accumulating (idempotent).
+  void resume() {
+    if (!paused_) return;
+    paused_ = false;
+    start_ = clock::now();
+  }
+
+  bool paused() const { return paused_; }
+
+  /// Accumulated running seconds since construction or the last reset(),
+  /// excluding paused intervals.
+  double seconds() const { return accumulated_ + (paused_ ? 0.0 : running()); }
 
  private:
   using clock = std::chrono::steady_clock;
+
+  double running() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
   clock::time_point start_;
+  double accumulated_ = 0.0;
+  bool paused_ = false;
 };
 
 }  // namespace octbal
