@@ -1,0 +1,59 @@
+/// \file fuzz_main.cpp
+/// \brief Standalone fuzzing driver over the audit subsystem: run a range
+/// of seeds through the full randomized pipeline-invariant battery and
+/// print a shrunk, ready-to-paste regression test for every failure.
+///
+/// Usage:
+///   fuzz_main [--seeds N] [--seed0 S] [--jobs T] [--inject-bug 1]
+///             [--no-shrink] [--shrink-evals N] [--max-failures N]
+///
+/// Exit status 0 iff every case passed.  A failure report always includes
+/// the replay command line for its seed.
+
+#include <cstdio>
+
+#include "audit/fuzzer.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace octbal;
+  const Cli cli(argc, argv);
+  audit::FuzzOptions opt;
+  opt.seeds = static_cast<int>(cli.get_int("seeds", 50));
+  opt.seed0 = static_cast<std::uint64_t>(cli.get_int("seed0", 1));
+  opt.jobs = static_cast<int>(cli.get_int("jobs", 1));
+  opt.shrink = !cli.has("no-shrink");
+  opt.shrink_evals = static_cast<int>(cli.get_int("shrink-evals", 300));
+  opt.max_failures = static_cast<int>(cli.get_int("max-failures", 8));
+  if (cli.get_int("inject-bug", 0) != 0) {
+    opt.inject = FaultInjection::kSkipInsulationNeighbor;
+  }
+
+  std::printf("fuzz: seeds [%llu, %llu), jobs=%d%s\n",
+              static_cast<unsigned long long>(opt.seed0),
+              static_cast<unsigned long long>(opt.seed0) + opt.seeds,
+              opt.jobs,
+              opt.inject != FaultInjection::kNone ? ", fault injection ON"
+                                                  : "");
+
+  const audit::FuzzSummary sum = audit::Fuzzer(opt).run();
+
+  for (const auto& f : sum.failures) {
+    std::printf("\nFAIL seed=%llu invariant=%s\n  %s\n  config: %s\n",
+                static_cast<unsigned long long>(f.seed), f.invariant.c_str(),
+                f.detail.c_str(), f.config.c_str());
+    std::printf("  replay: %s --seeds 1 --seed0 %llu%s\n",
+                cli.program().c_str(),
+                static_cast<unsigned long long>(f.seed),
+                opt.inject != FaultInjection::kNone ? " --inject-bug 1" : "");
+    std::printf("  minimized to %zu octants; regression test:\n\n%s\n",
+                f.repro_octants, f.repro.c_str());
+  }
+
+  std::printf("\nfuzz: %d case(s) run, %d failed", sum.cases_run, sum.failed);
+  if (sum.failed > static_cast<int>(sum.failures.size())) {
+    std::printf(" (stopped at --max-failures %d)", opt.max_failures);
+  }
+  std::printf("\n");
+  return sum.ok() ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#pragma once
+/// \file case.hpp
+/// \brief Randomized pipeline configurations for the audit/fuzzing
+/// subsystem: a seed deterministically expands into a connectivity shape,
+/// a refinement workload, a rank/thread layout, a balance condition and a
+/// full set of pipeline switches.  The same seed always reproduces the
+/// same case, which is what makes every fuzz failure replayable.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "forest/balance.hpp"
+#include "forest/forest.hpp"
+
+namespace octbal::audit {
+
+enum class ConnKind : std::uint8_t {
+  kBrick = 0,  ///< nx × ny (× nz) lattice, optionally periodic per axis
+  kRing = 1,   ///< n trees glued in a cycle; orient 1 in 2D is a Möbius band
+};
+
+enum class WorkloadKind : std::uint8_t {
+  kRandom = 0,   ///< random_refine with per-case density
+  kFractal = 1,  ///< the Figure 15 fractal rule
+  kIceSheet = 2, ///< synthetic grounding-line mesh (lattice-only)
+};
+
+enum class PartitionKind : std::uint8_t {
+  kEven = 0,      ///< leave the construction-time even split in place
+  kUniform = 1,   ///< partition_uniform after refinement
+  kWeighted = 2,  ///< partition_weighted by (1 + level)
+};
+
+/// Everything that defines one fuzz case.  Filled by random_case_config();
+/// a shrunk repro may carry a hand-simplified copy.
+struct CaseConfig {
+  std::uint64_t seed = 0;
+  int dim = 2;  ///< 2 or 3
+
+  ConnKind conn = ConnKind::kBrick;
+  std::array<int, 3> dims{1, 1, 1};         ///< brick only
+  std::array<bool, 3> periodic{};           ///< brick only
+  int ring_trees = 2;                       ///< ring only
+  std::uint8_t ring_orient = 0;             ///< ring only
+
+  int ranks = 1;
+  int threads = 1;  ///< upper point of the thread-determinism sweep
+  int k = 1;        ///< balance condition, 1..dim
+  int lmax = 4;
+  double density = 0.3;  ///< random workload split probability
+  WorkloadKind workload = WorkloadKind::kRandom;
+  PartitionKind partition = PartitionKind::kEven;
+  bool scramble = false;  ///< pseudo-random SimComm delivery order
+
+  /// Pipeline switches for the main run (opt.k is kept equal to k above;
+  /// opt.inject is the fault-injection channel for self-tests).
+  BalanceOptions opt{};
+
+  /// The thread-determinism invariant calls par::set_num_threads, which is
+  /// illegal inside a parallel region — the fuzzer clears this flag when it
+  /// fans cases out across jobs.
+  bool check_threads = true;
+};
+
+/// Deterministically expand \p seed into a full case configuration.
+CaseConfig random_case_config(std::uint64_t seed);
+
+/// One-line human-readable description (for failure reports and logs).
+std::string describe(const CaseConfig& cfg);
+
+/// The concrete input of a case: its connectivity and the pre-balance
+/// leaves in global SFC order.  The shrinker mutates only the leaves.
+template <int D>
+struct CaseData {
+  Connectivity<D> conn;
+  std::vector<TreeOct<D>> leaves;
+};
+
+/// Build the connectivity and generate the workload for \p cfg.
+/// Requires cfg.dim == D.
+template <int D>
+CaseData<D> make_case(const CaseConfig& cfg);
+
+}  // namespace octbal::audit

@@ -1,0 +1,98 @@
+#include "audit/fuzzer.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "audit/shrinker.hpp"
+#include "util/parallel.hpp"
+
+namespace octbal::audit {
+namespace {
+
+template <int D>
+bool run_case_d(const CaseConfig& cfg, const FuzzOptions& opt,
+                FuzzFailure* out) {
+  const CaseData<D> data = make_case<D>(cfg);
+  const InvariantReport rep = Invariants::check<D>(cfg, data);
+  if (rep.ok) return true;
+  out->seed = cfg.seed;
+  out->invariant = rep.invariant;
+  out->detail = rep.detail;
+  if (opt.shrink) {
+    const ShrinkOutcome<D> s =
+        Shrinker::shrink<D>(cfg, data, rep, opt.shrink_evals);
+    const CaseData<D> min{data.conn, s.leaves};
+    out->config = describe(s.cfg);
+    out->repro = Shrinker::regression_source<D>(s.cfg, min, s.report);
+    out->repro_octants = s.leaves.size();
+  } else {
+    out->config = describe(cfg);
+    out->repro = Shrinker::regression_source<D>(cfg, data, rep);
+    out->repro_octants = data.leaves.size();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Fuzzer::run_case(const CaseConfig& cfg, FuzzFailure* out) const {
+  return cfg.dim == 2 ? run_case_d<2>(cfg, opt_, out)
+                      : run_case_d<3>(cfg, opt_, out);
+}
+
+FuzzSummary Fuzzer::run() const {
+  FuzzSummary sum;
+  const int n = std::max(0, opt_.seeds);
+  std::atomic<int> failed{0};
+  std::atomic<int> cases{0};
+
+  const auto run_seed = [&](std::uint64_t seed, bool allow_threads,
+                            std::vector<FuzzFailure>& out) {
+    if (failed.load(std::memory_order_relaxed) >= opt_.max_failures) return;
+    cases.fetch_add(1, std::memory_order_relaxed);
+    CaseConfig cfg = random_case_config(seed);
+    cfg.opt.inject = opt_.inject;
+    cfg.check_threads = allow_threads;
+    FuzzFailure fl;
+    if (!run_case(cfg, &fl)) {
+      failed.fetch_add(1, std::memory_order_relaxed);
+      out.push_back(std::move(fl));
+    }
+  };
+
+  if (opt_.jobs <= 1) {
+    std::vector<FuzzFailure> fl;
+    for (int i = 0; i < n; ++i) {
+      run_seed(opt_.seed0 + static_cast<std::uint64_t>(i), true, fl);
+      if (failed.load(std::memory_order_relaxed) >= opt_.max_failures) break;
+    }
+    sum.failures = std::move(fl);
+  } else {
+    // Strided fan-out: job j takes seeds j, j+jobs, ...  Nested pipeline
+    // parallel_for_ranks calls run inline inside the job bodies, and the
+    // thread-determinism sweep is disabled (it would need to resize the
+    // global pool from inside a parallel region).
+    const int jobs = std::min(opt_.jobs, std::max(1, n));
+    std::vector<std::vector<FuzzFailure>> per(jobs);
+    const int saved = par::num_threads();
+    par::set_num_threads(jobs);
+    par::parallel_for_ranks(jobs, [&](int j) {
+      for (int i = j; i < n; i += jobs) {
+        run_seed(opt_.seed0 + static_cast<std::uint64_t>(i), false, per[j]);
+      }
+    });
+    par::set_num_threads(saved);
+    for (auto& v : per) {
+      for (auto& f : v) sum.failures.push_back(std::move(f));
+    }
+    std::sort(sum.failures.begin(), sum.failures.end(),
+              [](const FuzzFailure& a, const FuzzFailure& b) {
+                return a.seed < b.seed;
+              });
+  }
+  sum.cases_run = cases.load();
+  sum.failed = failed.load();
+  return sum;
+}
+
+}  // namespace octbal::audit

@@ -1,0 +1,60 @@
+#pragma once
+/// \file fuzzer.hpp
+/// \brief The fuzzing driver: expand a range of seeds into random cases,
+/// run the invariant battery on each, and shrink every failure into a
+/// replayable, ready-to-paste regression test.  Deterministic for a given
+/// (seed0, seeds) range regardless of the job count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/case.hpp"
+#include "audit/invariants.hpp"
+
+namespace octbal::audit {
+
+struct FuzzOptions {
+  int seeds = 50;            ///< number of consecutive seeds to run
+  std::uint64_t seed0 = 1;   ///< first seed of the range
+  int jobs = 1;              ///< worker threads; >1 disables thread sweeps
+  FaultInjection inject = FaultInjection::kNone;  ///< self-test channel
+  bool shrink = true;        ///< minimize failures before reporting
+  int shrink_evals = 300;    ///< invariant re-checks per shrink
+  int max_failures = 8;      ///< stop fuzzing after this many failures
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  std::string invariant;       ///< failing invariant id
+  std::string detail;          ///< specifics from the first failing check
+  std::string config;          ///< describe() of the (shrunk) configuration
+  std::string repro;           ///< ready-to-paste regression test source
+  std::size_t repro_octants = 0;  ///< leaves in the minimized input
+};
+
+struct FuzzSummary {
+  int cases_run = 0;
+  int failed = 0;  ///< total failures seen (>= failures.size())
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failed == 0; }
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzOptions opt) : opt_(opt) {}
+
+  /// Run the whole seed range.  With jobs > 1 the range is strided across
+  /// a parallel_for_ranks fan-out (nested pipeline parallelism then runs
+  /// inline); failures are reported in seed order either way.
+  FuzzSummary run() const;
+
+  /// Run a single prepared configuration; returns true on pass, else
+  /// fills \p out (shrinking first when enabled).
+  bool run_case(const CaseConfig& cfg, FuzzFailure* out) const;
+
+ private:
+  FuzzOptions opt_;
+};
+
+}  // namespace octbal::audit

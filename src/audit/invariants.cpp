@@ -1,0 +1,207 @@
+#include "audit/invariants.hpp"
+
+#include <sstream>
+
+#include "core/balance_subtree.hpp"
+#include "core/linear.hpp"
+#include "core/ripple.hpp"
+#include "core/seeds.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace octbal::audit {
+namespace {
+
+template <int D>
+struct PipelineRun {
+  std::vector<TreeOct<D>> got;
+  std::string metrics;
+  bool valid = false;
+};
+
+template <int D>
+PipelineRun<D> run_pipeline(const CaseConfig& cfg, const CaseData<D>& data,
+                            const BalanceOptions& opt, int ranks) {
+  Forest<D> f(data.conn, ranks, data.leaves);
+  switch (cfg.partition) {
+    case PartitionKind::kEven:
+      break;
+    case PartitionKind::kUniform:
+      f.partition_uniform();
+      break;
+    case PartitionKind::kWeighted:
+      f.partition_weighted(
+          [](const TreeOct<D>& to) { return 1 + to.oct.level; });
+      break;
+  }
+  SimComm comm(ranks);
+  if (cfg.scramble) comm.set_scramble(cfg.seed);
+  balance(f, opt, comm);
+  PipelineRun<D> run;
+  run.valid = f.is_valid();
+  run.got = f.gather();
+  run.metrics = comm.metrics().snapshot().serialize();
+  return run;
+}
+
+template <int D>
+std::string first_diff(const std::vector<TreeOct<D>>& got,
+                       const std::vector<TreeOct<D>>& want) {
+  std::ostringstream os;
+  os << "got " << got.size() << " leaves, want " << want.size();
+  const std::size_t n = std::min(got.size(), want.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(got[i] == want[i])) {
+      os << "; first diff at index " << i << ": got tree " << got[i].tree
+         << " " << to_string(got[i].oct) << ", want tree " << want[i].tree
+         << " " << to_string(want[i].oct);
+      return os.str();
+    }
+  }
+  if (got.size() != want.size()) {
+    os << "; common prefix of " << n << " leaves matches";
+  }
+  return os.str();
+}
+
+/// The Section IV contract on a sampled pair of leaves (o, r) in the same
+/// tree frame: rebuilding from seeds must reproduce the clipped overlap of
+/// the ripple oracle's Tk(o) with r.
+template <int D>
+bool seed_pair_ok(const Octant<D>& o, const Octant<D>& r, int k,
+                  std::string* why) {
+  const auto root = root_octant<D>();
+  const auto t = tk_of(o, k, root);
+  std::vector<Octant<D>> want;
+  const auto [lo, hi] = overlapping_range(t, r);
+  for (std::size_t i = lo; i < hi; ++i) {
+    want.push_back(contains(t[i], r) ? r : t[i]);  // coarse leaves clip to r
+  }
+  const auto seeds = balance_seeds(o, r, k);
+  if (seeds.empty()) {
+    for (const auto& leaf : want) {
+      if (size_exp(leaf) < size_exp(r)) {
+        *why = "no seeds, but Tk(o) splits r: o=" + to_string(o) +
+               " r=" + to_string(r) + " k=" + std::to_string(k);
+        return false;
+      }
+    }
+    return true;
+  }
+  const auto rebuilt = balance_subtree_new(seeds, k, r);
+  if (rebuilt != want) {
+    *why = "seed rebuild mismatch: o=" + to_string(o) + " r=" + to_string(r) +
+           " k=" + std::to_string(k) + " seeds=" + std::to_string(seeds.size()) +
+           " rebuilt=" + std::to_string(rebuilt.size()) +
+           " oracle=" + std::to_string(want.size());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+template <int D>
+InvariantReport Invariants::check(const CaseConfig& cfg,
+                                  const CaseData<D>& data) {
+  // Main run: the fuzzed configuration exactly as drawn.
+  const PipelineRun<D> main = run_pipeline(cfg, data, cfg.opt, cfg.ranks);
+  if (!main.valid) {
+    return InvariantReport::fail(
+        "structure",
+        "Forest::is_valid failed after balance "
+        "(per-rank sortedness / markers / per-tree completeness)");
+  }
+
+  BalanceViolation<D> v;
+  if (!forest_find_violation(main.got, data.conn, cfg.k, &v)) {
+    std::ostringstream os;
+    os << "2:1 violation at codim " << v.codim << ": coarse tree " << v.coarse.tree
+       << " " << to_string(v.coarse.oct) << " vs fine tree " << v.fine.tree
+       << " " << to_string(v.fine.oct) << " (mapped " << to_string(v.mapped)
+       << ")";
+    return InvariantReport::fail("balance", os.str());
+  }
+
+  const auto want = forest_balance_serial(data.leaves, data.conn, cfg.k);
+  if (main.got != want) {
+    return InvariantReport::fail("serial_diff",
+                                 first_diff<D>(main.got, want));
+  }
+
+  // Old-vs-new equivalence: the pre-paper configuration must reach the
+  // same unique coarsest balanced refinement.
+  {
+    BalanceOptions old = BalanceOptions::old_config();
+    old.k = cfg.opt.k;
+    old.inject = cfg.opt.inject;
+    const PipelineRun<D> alt = run_pipeline(cfg, data, old, cfg.ranks);
+    if (alt.got != want) {
+      return InvariantReport::fail("old_new_diff",
+                                   first_diff<D>(alt.got, want));
+    }
+  }
+
+  // Partition-count invariance: the result may not depend on P.
+  if (cfg.ranks > 1) {
+    const PipelineRun<D> one = run_pipeline(cfg, data, cfg.opt, 1);
+    if (one.got != main.got) {
+      return InvariantReport::fail("partition_invariance",
+                                   first_diff<D>(one.got, main.got));
+    }
+  }
+
+  // λ/seed decisions vs the ripple oracle on sampled disjoint leaf pairs.
+  {
+    Rng rng(cfg.seed ^ 0x9E3779B97F4A7C15ull);
+    const auto& lv = data.leaves;
+    std::string why;
+    int sampled = 0;
+    for (int attempt = 0; attempt < 200 && sampled < 24; ++attempt) {
+      const auto& a = lv[rng.below(lv.size())];
+      const auto& b = lv[rng.below(lv.size())];
+      if (a.tree != b.tree) continue;
+      const Octant<D>& o = a.oct.level >= b.oct.level ? a.oct : b.oct;
+      const Octant<D>& r = a.oct.level >= b.oct.level ? b.oct : a.oct;
+      if (overlaps(o, r)) continue;
+      ++sampled;
+      if (!seed_pair_ok<D>(o, r, cfg.k, &why)) {
+        return InvariantReport::fail("seed_oracle", why);
+      }
+    }
+  }
+
+  // Thread-count determinism: gathered forest and serialized metrics must
+  // be byte-identical across pool sizes.
+  if (cfg.check_threads && cfg.threads > 1) {
+    const int saved = par::num_threads();
+    par::set_num_threads(1);
+    const PipelineRun<D> t1 = run_pipeline(cfg, data, cfg.opt, cfg.ranks);
+    par::set_num_threads(cfg.threads);
+    const PipelineRun<D> tn = run_pipeline(cfg, data, cfg.opt, cfg.ranks);
+    par::set_num_threads(saved);
+    if (t1.got != tn.got) {
+      return InvariantReport::fail(
+          "thread_determinism",
+          "forest differs between 1 and " + std::to_string(cfg.threads) +
+              " threads: " + first_diff<D>(tn.got, t1.got));
+    }
+    if (t1.metrics != tn.metrics) {
+      return InvariantReport::fail(
+          "thread_determinism",
+          "obs metrics not byte-identical between 1 and " +
+              std::to_string(cfg.threads) + " threads");
+    }
+  }
+
+  InvariantReport rep = InvariantReport::pass();
+  rep.octants_after = main.got.size();
+  return rep;
+}
+
+template InvariantReport Invariants::check<2>(const CaseConfig&,
+                                              const CaseData<2>&);
+template InvariantReport Invariants::check<3>(const CaseConfig&,
+                                              const CaseData<3>&);
+
+}  // namespace octbal::audit

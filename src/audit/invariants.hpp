@@ -1,0 +1,59 @@
+#pragma once
+/// \file invariants.hpp
+/// \brief The property checks the fuzzer runs after every randomized
+/// pipeline execution.  Each invariant has a stable string id, so the
+/// shrinker can require that a simplification still fails the *same* way.
+///
+/// Invariants, in check order:
+///   "structure"             — Forest::is_valid after balance (per-rank
+///                             sortedness/linearity, markers, per-tree
+///                             completeness).
+///   "balance"               — forest_find_violation: no 2:1 violation
+///                             across any codim <= k boundary, tree
+///                             boundaries included.
+///   "serial_diff"           — octant-for-octant equality with the serial
+///                             fixed-point oracle forest_balance_serial.
+///   "old_new_diff"          — the pre-paper configuration (old subtree
+///                             algorithm, raw-octant responses, whole-
+///                             partition rebalance) produces the identical
+///                             forest.
+///   "partition_invariance"  — a 1-rank run produces the identical forest.
+///   "seed_oracle"           — on sampled disjoint leaf pairs (o, r):
+///                             balance_subtree_new(balance_seeds(o,r,k))
+///                             equals the clipped overlap of ripple's
+///                             Tk(o) with r (the Section IV contract).
+///   "thread_determinism"    — gathered forest and serialized obs metrics
+///                             are byte-identical at 1 and cfg.threads
+///                             pool threads.
+
+#include <cstdint>
+#include <string>
+
+#include "audit/case.hpp"
+
+namespace octbal::audit {
+
+struct InvariantReport {
+  bool ok = true;
+  std::string invariant;  ///< failing invariant id ("" when ok)
+  std::string detail;     ///< human-readable specifics
+  std::uint64_t octants_after = 0;  ///< balanced-forest size of the main run
+
+  static InvariantReport pass() { return {}; }
+  static InvariantReport fail(std::string inv, std::string det) {
+    InvariantReport r;
+    r.ok = false;
+    r.invariant = std::move(inv);
+    r.detail = std::move(det);
+    return r;
+  }
+};
+
+struct Invariants {
+  /// Run the full pipeline for \p cfg over \p data and check every
+  /// invariant, stopping at the first failure.  Requires cfg.dim == D.
+  template <int D>
+  static InvariantReport check(const CaseConfig& cfg, const CaseData<D>& data);
+};
+
+}  // namespace octbal::audit

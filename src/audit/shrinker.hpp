@@ -1,0 +1,44 @@
+#pragma once
+/// \file shrinker.hpp
+/// \brief Greedy failure minimization for fuzz cases.  Given a case that
+/// fails an invariant, repeatedly simplify the configuration (disable
+/// scramble, drop to fewer ranks, simpler partition) and coarsen the input
+/// leaves (whole trees to their root, then subtrees to their common
+/// ancestor, coarsest candidates first), accepting a step only when the
+/// *same* invariant still fails.  Every intermediate leaf set stays a
+/// valid forest input: replacing the complete cover of an ancestor by the
+/// ancestor itself preserves per-tree completeness by construction.
+
+#include <string>
+#include <vector>
+
+#include "audit/case.hpp"
+#include "audit/invariants.hpp"
+
+namespace octbal::audit {
+
+template <int D>
+struct ShrinkOutcome {
+  CaseConfig cfg;                  ///< simplified configuration
+  std::vector<TreeOct<D>> leaves;  ///< minimized failing input
+  InvariantReport report;          ///< the failure it still triggers
+  int evals = 0;                   ///< invariant re-checks spent
+};
+
+struct Shrinker {
+  /// Minimize \p data for the failure \p first of \p cfg.  \p max_evals
+  /// bounds the number of invariant re-checks (each re-check runs several
+  /// balance pipelines).  Requires cfg.dim == D and !first.ok.
+  template <int D>
+  static ShrinkOutcome<D> shrink(const CaseConfig& cfg, const CaseData<D>& data,
+                                 const InvariantReport& first,
+                                 int max_evals = 300);
+
+  /// A ready-to-paste GoogleTest regression test reproducing the failure.
+  template <int D>
+  static std::string regression_source(const CaseConfig& cfg,
+                                       const CaseData<D>& data,
+                                       const InvariantReport& report);
+};
+
+}  // namespace octbal::audit

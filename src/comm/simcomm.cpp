@@ -111,11 +111,16 @@ std::vector<SimMessage> SimComm::recv_all(int rank) {
 
 void SimComm::charge_collective(std::size_t total_bytes) {
   const int p = size();
-  const auto logp = static_cast<std::uint64_t>(std::ceil(std::log2(p > 1 ? p : 2)));
-  // Tree-structured message count, full-replication volume.
+  // A single-rank collective moves nothing: no messages, no bytes, no
+  // modeled time.  (The occurrence is still counted for observability.)
   CommStats s;
-  s.messages = static_cast<std::uint64_t>(p) * logp;
-  s.bytes = total_bytes;
+  std::uint64_t logp = 0;
+  if (p > 1) {
+    logp = static_cast<std::uint64_t>(std::ceil(std::log2(p)));
+    // Tree-structured message count, full-replication volume.
+    s.messages = static_cast<std::uint64_t>(p) * logp;
+    s.bytes = total_bytes;
+  }
   stats_ += s;
   // Collectives are engine-level: no owning rank, so they land in scalar
   // metrics rather than the per-rank slots.
@@ -124,7 +129,7 @@ void SimComm::charge_collective(std::size_t total_bytes) {
   metrics_->scalar("comm/collective_bytes").add(0, s.bytes);
   // Critical path: every rank receives the fully replicated payload over a
   // logarithmic number of rounds.
-  modeled_time_ += model_.time(CommStats{logp, total_bytes});
+  if (p > 1) modeled_time_ += model_.time(CommStats{logp, total_bytes});
 }
 
 void SimComm::reset_stats() {

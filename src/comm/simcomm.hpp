@@ -155,12 +155,23 @@ class SimComm {
   /// Failure injection: deliver each inbox in a pseudo-random order instead
   /// of the deterministic (sender, post order) one.  Real MPI makes no
   /// ordering guarantee across senders; algorithms built on SimComm must
-  /// not depend on it, and the test suite runs the full balance pipeline
-  /// under scrambling to prove they do not.
+  /// not depend on it, and the test suite and the audit fuzzer
+  /// (src/audit) run the full balance pipeline under scrambling to prove
+  /// they do not.  The seed is retained so a failing run can be replayed
+  /// with the identical delivery schedule.
   void set_scramble(std::uint64_t seed) {
     scramble_ = true;
+    scramble_seed_ = seed;
     scramble_state_ = seed | 1;
   }
+
+  /// Back to deterministic (sender, post order) delivery.
+  void clear_scramble() { scramble_ = false; }
+
+  bool scrambled() const { return scramble_; }
+
+  /// The seed passed to set_scramble() (meaningful only when scrambled()).
+  std::uint64_t scramble_seed() const { return scramble_seed_; }
 
  private:
   void charge_collective(std::size_t total_bytes);
@@ -178,6 +189,7 @@ class SimComm {
   CostModel model_;
   double modeled_time_ = 0.0;
   bool scramble_ = false;
+  std::uint64_t scramble_seed_ = 0;
   std::uint64_t scramble_state_ = 0;
   std::unique_ptr<obs::Metrics> metrics_;
   std::vector<Round> rounds_;

@@ -17,7 +17,12 @@ namespace octbal {
 /// Statistics counters shared by hash sets and the balance algorithms.
 struct HashStats {
   std::uint64_t queries = 0;  ///< insert/contains calls
-  std::uint64_t probes = 0;   ///< slot inspections (collision metric)
+  /// Slot inspections caused by queries — the paper's Section III collision
+  /// metric.  Internal rehashing during growth re-probes every stored
+  /// element; those probes say nothing about query-time collision behavior
+  /// and are counted separately below.
+  std::uint64_t probes = 0;
+  std::uint64_t rehash_probes = 0;  ///< slot inspections during grow()
 };
 
 /// Hash an octant: mix the Morton key and level through splitmix64.
@@ -87,10 +92,14 @@ class OctantHashSet {
   };
 
   std::size_t find_slot(const Octant<D>& o) const {
+    return find_slot(o, stats_ ? &stats_->probes : nullptr);
+  }
+
+  std::size_t find_slot(const Octant<D>& o, std::uint64_t* probes) const {
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = octant_hash(o) & mask;
     while (slots_[i].used && !(slots_[i].oct == o)) {
-      if (stats_) ++stats_->probes;
+      if (probes) ++*probes;
       i = (i + 1) & mask;
     }
     return i;
@@ -100,9 +109,10 @@ class OctantHashSet {
     std::vector<Slot> old;
     old.swap(slots_);
     slots_.resize(old.size() * 2);
+    std::uint64_t* rehash = stats_ ? &stats_->rehash_probes : nullptr;
     for (const Slot& s : old) {
       if (!s.used) continue;
-      std::size_t i = find_slot(s.oct);
+      std::size_t i = find_slot(s.oct, rehash);
       slots_[i] = s;
     }
   }

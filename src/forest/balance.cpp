@@ -168,6 +168,12 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   {
     OBS_SPAN("build_queries");
     std::fill(rank_count.begin(), rank_count.end(), 0);
+    // Fault injection (audit self-tests): drop the last insulation-layer
+    // offset from the query walk, silently losing one neighbor direction.
+    const auto& all_offs = full_offsets<D>();
+    const std::size_t n_offs =
+        all_offs.size() -
+        (opt.inject == FaultInjection::kSkipInsulationNeighbor ? 1 : 0);
     par::parallel_for_ranks(P, [&](int r) {
       OBS_SPAN_RANK("build_queries", r);
       Timer t;
@@ -207,7 +213,8 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
             if (own_lo <= env_lo && env_hi < own_hi) continue;
           }
         }
-        for (const auto& off : full_offsets<D>()) {
+        for (std::size_t oi = 0; oi < n_offs; ++oi) {
+          const auto& off = all_offs[oi];
           const auto nb = conn.neighbor(to.tree, to.oct, off);
           if (!nb) continue;
           const GlobalPos lo{nb->tree, morton_key(nb->oct)};

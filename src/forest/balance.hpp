@@ -30,6 +30,18 @@
 
 namespace octbal {
 
+/// Deliberate pipeline defects for the audit subsystem's self-tests
+/// (src/audit): the fuzzer must catch each of these on randomized
+/// workloads, proving the invariant checks have teeth.  Always kNone in
+/// production configurations.
+enum class FaultInjection : std::uint8_t {
+  kNone = 0,
+  /// Phase 2 skips the last insulation-layer offset when building queries,
+  /// losing every remote constraint that reaches a rank only through that
+  /// neighbor piece — a realistic "missed one neighbor direction" bug.
+  kSkipInsulationNeighbor = 1,
+};
+
 struct BalanceOptions {
   int k = 0;  ///< balance condition; 0 means full corner balance (k = D)
   SubtreeAlgo subtree = SubtreeAlgo::kNew;  ///< Section III choice
@@ -41,6 +53,8 @@ struct BalanceOptions {
   /// (production p4est style) instead of a separate exchange after the
   /// pattern reversal.  Only meaningful with NotifyAlgo::kNotify.
   bool notify_carries_queries = false;
+  /// Fault injection for audit self-tests; kNone for real runs.
+  FaultInjection inject = FaultInjection::kNone;
 
   static BalanceOptions old_config() {
     return BalanceOptions{0, SubtreeAlgo::kOld, false, false,

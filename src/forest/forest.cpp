@@ -40,6 +40,20 @@ Forest<D>::Forest(Connectivity<D> conn, int nranks, int level)
 }
 
 template <int D>
+Forest<D>::Forest(Connectivity<D> conn, int nranks,
+                  std::vector<TreeOct<D>> leaves)
+    : conn_(std::move(conn)), local_(nranks) {
+  assert(nranks >= 1);
+  std::sort(leaves.begin(), leaves.end());
+  const std::size_t n = leaves.size();
+  std::vector<std::size_t> counts(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    counts[r] = n / nranks + (static_cast<std::size_t>(r) < n % nranks ? 1 : 0);
+  }
+  set_all(std::move(leaves), std::move(counts), nullptr);
+}
+
+template <int D>
 void Forest<D>::set_all(std::vector<TreeOct<D>> all,
                         std::vector<std::size_t> counts, SimComm* comm) {
   const int p = num_ranks();
@@ -303,8 +317,9 @@ std::vector<std::vector<Octant<D>>> split_by_tree(
 }  // namespace
 
 template <int D>
-bool forest_is_balanced(const std::vector<TreeOct<D>>& leaves,
-                        const Connectivity<D>& conn, int k) {
+bool forest_find_violation(const std::vector<TreeOct<D>>& leaves,
+                           const Connectivity<D>& conn, int k,
+                           BalanceViolation<D>* out) {
   const auto per_tree = split_by_tree(leaves, conn.num_trees());
   for (const auto& to : leaves) {
     for (const auto& off : balance_offsets<D>(k)) {
@@ -316,11 +331,25 @@ bool forest_is_balanced(const std::vector<TreeOct<D>>& leaves,
         if (other[j].level <= to.oct.level + 1) continue;
         const Octant<D> m = nb->xform.apply(other[j]);
         const int c = adjacency_codim(to.oct, m);
-        if (c >= 1 && c <= k) return false;
+        if (c >= 1 && c <= k) {
+          if (out) {
+            out->coarse = to;
+            out->fine = TreeOct<D>{nb->tree, other[j]};
+            out->mapped = m;
+            out->codim = c;
+          }
+          return false;
+        }
       }
     }
   }
   return true;
+}
+
+template <int D>
+bool forest_is_balanced(const std::vector<TreeOct<D>>& leaves,
+                        const Connectivity<D>& conn, int k) {
+  return forest_find_violation<D>(leaves, conn, k, nullptr);
 }
 
 template <int D>
@@ -375,6 +404,9 @@ std::vector<TreeOct<D>> forest_balance_serial(std::vector<TreeOct<D>> leaves,
   template std::uint64_t forest_checksum<D>(const Forest<D>&);             \
   template bool forest_is_balanced<D>(const std::vector<TreeOct<D>>&,      \
                                       const Connectivity<D>&, int);        \
+  template bool forest_find_violation<D>(const std::vector<TreeOct<D>>&,   \
+                                         const Connectivity<D>&, int,      \
+                                         BalanceViolation<D>*);            \
   template std::vector<TreeOct<D>> forest_balance_serial<D>(               \
       std::vector<TreeOct<D>>, const Connectivity<D>&, int);
 OCTBAL_INSTANTIATE(1)

@@ -56,6 +56,12 @@ class Forest {
   /// \p nranks ranks.
   Forest(Connectivity<D> conn, int nranks, int level);
 
+  /// A forest with explicitly given leaves (sorted internally), partitioned
+  /// evenly over \p nranks.  Every tree of the connectivity must be covered
+  /// by a complete linear octree — the representation the audit subsystem's
+  /// shrinker rebuilds forests from (is_valid() reports violations).
+  Forest(Connectivity<D> conn, int nranks, std::vector<TreeOct<D>> leaves);
+
   const Connectivity<D>& connectivity() const { return conn_; }
   int num_ranks() const { return static_cast<int>(local_.size()); }
 
@@ -134,6 +140,25 @@ std::uint64_t forest_checksum(const Forest<D>& f);
 template <int D>
 bool forest_is_balanced(const std::vector<TreeOct<D>>& leaves,
                         const Connectivity<D>& conn, int k);
+
+/// A concrete 2:1 violation found by forest_is_balanced's sweep, for
+/// diagnostics: the coarse leaf, the offending finer leaf mapped into the
+/// coarse leaf's tree frame, and the codimension of the shared boundary.
+template <int D>
+struct BalanceViolation {
+  TreeOct<D> coarse;
+  TreeOct<D> fine;    ///< tree = the fine leaf's own tree
+  Octant<D> mapped;   ///< fine leaf in the coarse leaf's frame
+  int codim = 0;
+};
+
+/// Like forest_is_balanced, but fills \p out with the first violation when
+/// the forest is unbalanced.  Used by the audit invariants to name the
+/// offending pair in failure reports.
+template <int D>
+bool forest_find_violation(const std::vector<TreeOct<D>>& leaves,
+                           const Connectivity<D>& conn, int k,
+                           BalanceViolation<D>* out);
 
 /// Serial reference balance of a whole forest: per-tree subtree balance
 /// with transformed exterior constraints from neighboring trees, iterated

@@ -20,7 +20,12 @@ Reduction reduce(const std::vector<std::uint64_t>& per_rank) {
   r.mean = static_cast<double>(r.total) / n;
   std::vector<std::uint64_t> sorted = per_rank;
   std::sort(sorted.begin(), sorted.end());
-  r.median = static_cast<double>(sorted[(sorted.size() - 1) / 2]);
+  const std::size_t m = sorted.size() / 2;
+  r.median = sorted.size() % 2 == 1
+                 ? static_cast<double>(sorted[m])
+                 : (static_cast<double>(sorted[m - 1]) +
+                    static_cast<double>(sorted[m])) /
+                       2.0;
   r.imbalance = r.mean > 0 ? static_cast<double>(r.max) / r.mean : 0.0;
   return r;
 }

@@ -36,7 +36,7 @@ struct Reduction {
   std::uint64_t max = 0;
   std::uint64_t total = 0;
   double mean = 0;
-  double median = 0;     ///< lower median of the sorted per-rank values
+  double median = 0;     ///< median; midpoint average for even rank counts
   double imbalance = 0;  ///< max / mean; 0 when the mean is 0
 };
 

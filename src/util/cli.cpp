@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace octbal {
@@ -25,13 +27,35 @@ bool Cli::has(const std::string& name) const { return kv_.count(name) > 0; }
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   const auto it = kv_.find(name);
   if (it == kv_.end() || it->second.empty()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  // The whole token must parse (end == s catches "junk", trailing garbage
+  // catches "12junk"); out-of-range values also fall back to the default.
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "warning: --%s expects an integer, got \"%s\"; using %lld\n",
+                 name.c_str(), s, static_cast<long long>(def));
+    return def;
+  }
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   const auto it = kv_.find(name);
   if (it == kv_.end() || it->second.empty()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "warning: --%s expects a number, got \"%s\"; using %g\n",
+                 name.c_str(), s, def);
+    return def;
+  }
+  return v;
 }
 
 std::string Cli::get_string(const std::string& name,

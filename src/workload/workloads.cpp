@@ -104,6 +104,15 @@ void icesheet_refine(Forest<D>& f, int lmax, const IceSheetParams& p) {
 }
 
 template <int D>
+void random_refine(Forest<D>& f, Rng& rng, int lmax, double density) {
+  f.refine(
+      [&](const TreeOct<D>& to) {
+        return to.oct.level < lmax && rng.chance(density);
+      },
+      true);
+}
+
+template <int D>
 std::map<int, std::uint64_t> level_histogram(const Forest<D>& f) {
   std::map<int, std::uint64_t> h;
   for (int r = 0; r < f.num_ranks(); ++r) {
@@ -116,6 +125,7 @@ std::map<int, std::uint64_t> level_histogram(const Forest<D>& f) {
   template void fractal_refine<D>(Forest<D>&, int);                 \
   template void icesheet_refine<D>(Forest<D>&, int,                 \
                                    const IceSheetParams&);          \
+  template void random_refine<D>(Forest<D>&, Rng&, int, double);    \
   template std::map<int, std::uint64_t> level_histogram<D>(         \
       const Forest<D>&);
 OCTBAL_INSTANTIATE(1)

@@ -35,6 +35,15 @@ struct IceSheetParams {
 template <int D>
 void icesheet_refine(Forest<D>& f, int lmax, const IceSheetParams& p = {});
 
+class Rng;
+
+/// Randomized recursive refinement used by the fuzzing/audit harness and
+/// the configuration-space tests: every leaf splits with probability
+/// \p density (children are re-tested) until \p lmax.  Deterministic for a
+/// given (forest, seed) pair — leaves are visited in rank-major SFC order.
+template <int D>
+void random_refine(Forest<D>& f, Rng& rng, int lmax, double density);
+
 /// Octant count per level across the whole forest.
 template <int D>
 std::map<int, std::uint64_t> level_histogram(const Forest<D>& f);

@@ -1,0 +1,117 @@
+/// \file test_audit.cpp
+/// \brief Self-tests of the randomized invariant-audit subsystem: a clean
+/// pipeline must survive a seed sweep, and a deliberately injected balance
+/// bug (a skipped insulation-layer neighbor) must be caught by the
+/// invariants and reduced by the shrinker to a small replayable repro.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "audit/fuzzer.hpp"
+#include "audit/invariants.hpp"
+#include "audit/shrinker.hpp"
+
+namespace octbal::audit {
+namespace {
+
+TEST(Audit, CleanPipelinePassesSeedSweep) {
+  FuzzOptions opt;
+  opt.seeds = 50;
+  opt.seed0 = 2012;
+  const FuzzSummary sum = Fuzzer(opt).run();
+  ASSERT_TRUE(sum.ok()) << (sum.failures.empty()
+                                ? std::string("counted failures without reports")
+                                : sum.failures.front().repro);
+  EXPECT_EQ(sum.cases_run, 50);
+}
+
+TEST(Audit, ParallelJobsMatchSerialVerdicts) {
+  // The strided jobs>1 fan-out must reach the same verdicts (thread-sweep
+  // checks are disabled there, so only compare pass/fail and seeds).
+  FuzzOptions opt;
+  opt.seeds = 24;
+  opt.seed0 = 7;
+  opt.shrink = false;
+  const FuzzSummary serial = Fuzzer(opt).run();
+  opt.jobs = 2;
+  const FuzzSummary par2 = Fuzzer(opt).run();
+  EXPECT_EQ(par2.cases_run, 24);
+  EXPECT_EQ(serial.failed, par2.failed);
+}
+
+TEST(Audit, InjectedBalanceBugIsCaughtAndShrunk) {
+  FuzzOptions opt;
+  opt.seeds = 120;
+  opt.seed0 = 1;
+  opt.inject = FaultInjection::kSkipInsulationNeighbor;
+  opt.max_failures = 4;
+  const FuzzSummary sum = Fuzzer(opt).run();
+  ASSERT_GT(sum.failed, 0)
+      << "fault injection produced no failures: the invariants have no teeth";
+  ASSERT_FALSE(sum.failures.empty());
+
+  std::size_t smallest = SIZE_MAX;
+  for (const auto& f : sum.failures) {
+    // The injected defect loses balance constraints, so it must surface as
+    // a wrong balanced forest.
+    EXPECT_TRUE(f.invariant == "balance" || f.invariant == "serial_diff")
+        << f.invariant << ": " << f.detail;
+    EXPECT_NE(f.repro.find("TEST(FuzzRegression, Seed"), std::string::npos);
+    EXPECT_NE(f.repro.find("forest_balance_serial"), std::string::npos);
+    EXPECT_FALSE(f.config.empty());
+    EXPECT_GT(f.repro_octants, 0u);
+    smallest = std::min(smallest, f.repro_octants);
+  }
+  EXPECT_LE(smallest, 20u)
+      << "shrinker failed to reduce any failure to a small repro";
+}
+
+TEST(Audit, FailuresReplayDeterministically) {
+  FuzzOptions opt;
+  opt.inject = FaultInjection::kSkipInsulationNeighbor;
+  const Fuzzer fz(opt);
+  // Seed 9 is a known failing seed under injection (covered by the sweep
+  // above); replaying it twice must give byte-identical reports.
+  CaseConfig cfg = random_case_config(9);
+  cfg.opt.inject = opt.inject;
+  FuzzFailure a, b;
+  ASSERT_FALSE(fz.run_case(cfg, &a));
+  ASSERT_FALSE(fz.run_case(cfg, &b));
+  EXPECT_EQ(a.invariant, b.invariant);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_EQ(a.repro, b.repro);
+  EXPECT_EQ(a.repro_octants, b.repro_octants);
+}
+
+TEST(Audit, ShrunkInputStaysValidForest) {
+  // Shrinking must preserve per-tree completeness at every accepted step;
+  // verify the end state explicitly for a known failing case.
+  CaseConfig cfg = random_case_config(9);
+  cfg.opt.inject = FaultInjection::kSkipInsulationNeighbor;
+  ASSERT_EQ(cfg.dim, 2);
+  const CaseData<2> data = make_case<2>(cfg);
+  const InvariantReport rep = Invariants::check<2>(cfg, data);
+  ASSERT_FALSE(rep.ok);
+  const ShrinkOutcome<2> s = Shrinker::shrink<2>(cfg, data, rep);
+  EXPECT_LT(s.leaves.size(), data.leaves.size());
+  EXPECT_FALSE(s.report.ok);
+  Forest<2> f(data.conn, s.cfg.ranks, s.leaves);
+  EXPECT_TRUE(f.is_valid());
+}
+
+TEST(Audit, CaseGenerationIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xDEADull}) {
+    const CaseConfig a = random_case_config(seed);
+    const CaseConfig b = random_case_config(seed);
+    EXPECT_EQ(describe(a), describe(b));
+    if (a.dim == 2) {
+      EXPECT_EQ(make_case<2>(a).leaves, make_case<2>(b).leaves);
+    } else {
+      EXPECT_EQ(make_case<3>(a).leaves, make_case<3>(b).leaves);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace octbal::audit

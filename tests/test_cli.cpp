@@ -1,0 +1,63 @@
+/// \file test_cli.cpp
+/// \brief Regression tests for command-line parsing: malformed numeric
+/// values must fall back to the documented default (with a warning) instead
+/// of silently becoming 0, negatives must parse in both --k=-1 and
+/// "--k -1" forms, and bare flags must not eat the following option.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace octbal {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), const_cast<char**>(argv.data()));
+}
+
+TEST(Cli, MalformedIntFallsBackToDefault) {
+  const Cli cli = make({"prog", "--nranks", "junk", "--steps", "12junk"});
+  // Pre-fix behavior: strtoll with a null endptr silently returned 0.
+  EXPECT_EQ(cli.get_int("nranks", 4), 4);
+  EXPECT_EQ(cli.get_int("steps", 7), 7);
+}
+
+TEST(Cli, MalformedDoubleFallsBackToDefault) {
+  const Cli cli = make({"prog", "--alpha=abc", "--beta", "1.5x"});
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 2.0), 2.0);
+}
+
+TEST(Cli, OutOfRangeFallsBackToDefault) {
+  const Cli cli = make({"prog", "--big", "999999999999999999999999"});
+  EXPECT_EQ(cli.get_int("big", -3), -3);
+}
+
+TEST(Cli, NegativesParseInBothForms) {
+  const Cli cli = make({"prog", "--k=-1", "--off", "-17", "--gamma", "-0.5"});
+  EXPECT_EQ(cli.get_int("k", 0), -1);
+  EXPECT_EQ(cli.get_int("off", 0), -17);
+  EXPECT_DOUBLE_EQ(cli.get_double("gamma", 0.0), -0.5);
+}
+
+TEST(Cli, BareFlagsUseDefaultWithoutWarning) {
+  const Cli cli = make({"prog", "--verbose", "--trailing"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.has("trailing"));
+  // A bare flag has an empty value: typed lookups return the default.
+  EXPECT_EQ(cli.get_int("verbose", 11), 11);
+  EXPECT_DOUBLE_EQ(cli.get_double("trailing", 0.5), 0.5);
+}
+
+TEST(Cli, ValidValuesStillParse) {
+  const Cli cli = make({"prog", "--n", "42", "--x=3.25", "--hex", "0"});
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 3.25);
+  EXPECT_EQ(cli.get_int("hex", 9), 0);
+}
+
+}  // namespace
+}  // namespace octbal

@@ -334,8 +334,12 @@ TEST(Metrics, ReductionMatchesScStatisticsConvention) {
   EXPECT_EQ(r.max, 8u);
   EXPECT_EQ(r.total, 20u);
   EXPECT_DOUBLE_EQ(r.mean, 5.0);
-  EXPECT_DOUBLE_EQ(r.median, 4.0);  // lower median
+  EXPECT_DOUBLE_EQ(r.median, 5.0);  // midpoint of 4 and 6 (even count)
+
   EXPECT_DOUBLE_EQ(r.imbalance, 8.0 / 5.0);
+
+  const obs::Reduction odd = obs::reduce({9, 1, 5});
+  EXPECT_DOUBLE_EQ(odd.median, 5.0);  // exact middle element (odd count)
 
   const obs::Reduction zero = obs::reduce({0, 0});
   EXPECT_DOUBLE_EQ(zero.imbalance, 0.0);

@@ -181,6 +181,32 @@ TEST(SimCommThreads, SameSenderHammeredFromManyThreads) {
       << "a payload was duplicated or lost";
 }
 
+TEST(SimCommThreads, SingleRankCollectivesAreFree) {
+  // A collective over one rank is a no-op on real MPI; the cost model used
+  // to charge p * ceil(log2 p) >= 1 messages for it.  Every collective at
+  // p = 1 must model zero messages, zero bytes, and zero time.
+  SimComm comm(1);
+  const std::vector<int> g = comm.allgather(std::vector<int>{7, 8, 9});
+  EXPECT_EQ(g, (std::vector<int>{7, 8, 9}));
+  std::vector<std::size_t> offsets;
+  const std::vector<double> v = comm.allgatherv(
+      std::vector<std::vector<double>>{{1.0, 2.0}}, &offsets);
+  EXPECT_EQ(v, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(comm.stats().messages, 0u);
+  EXPECT_EQ(comm.stats().bytes, 0u);
+  EXPECT_EQ(comm.modeled_time(), 0.0);
+  const auto snap = comm.metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("comm/collectives").at(0), 2u);
+  EXPECT_EQ(snap.counters.at("comm/collective_msgs").at(0), 0u);
+  EXPECT_EQ(snap.counters.at("comm/collective_bytes").at(0), 0u);
+
+  // Multi-rank collectives still charge the tree-structured cost.
+  SimComm comm3(3);
+  (void)comm3.allgather(std::vector<int>{1});
+  EXPECT_EQ(comm3.stats().messages, 3u * 2u);  // p * ceil(log2 p)
+  EXPECT_GT(comm3.modeled_time(), 0.0);
+}
+
 TEST(SimCommThreads, ConcurrentSendersPreservePostOrderWithinSender) {
   // Each sender posts an increasing sequence to one receiver from its own
   // thread; the receiver must see (sender ascending, post order within).

@@ -70,6 +70,81 @@ TEST(OctantHash, InsertContainsGrowth) {
   }
 }
 
+/// Reference model of the open-addressing set: same hash, same capacity
+/// schedule, but query probes and rehash probes tallied independently so
+/// the production counters can be checked for *exact* equality.  Guards
+/// the Section III collision metric against rehash pollution: grow() used
+/// to funnel its internal re-probes into HashStats::probes, inflating the
+/// probes-per-query ratio reported by bench_subtree.
+struct RefHash {
+  struct Slot {
+    Oct2 oct{};
+    bool used = false;
+  };
+  std::vector<Slot> slots{std::vector<Slot>(16)};
+  std::size_t size = 0;
+  std::uint64_t queries = 0, probes = 0, rehash_probes = 0;
+  int grows = 0;
+
+  std::size_t find(const Oct2& o, std::uint64_t* counter) const {
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = octant_hash(o) & mask;
+    while (slots[i].used && !(slots[i].oct == o)) {
+      ++*counter;
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void insert(const Oct2& o) {
+    ++queries;
+    const std::size_t i = find(o, &probes);
+    if (slots[i].used) return;
+    slots[i] = Slot{o, true};
+    ++size;
+    if (size * 2 > slots.size()) {
+      ++grows;
+      std::vector<Slot> old;
+      old.swap(slots);
+      slots.resize(old.size() * 2);
+      for (const Slot& s : old) {
+        if (s.used) slots[find(s.oct, &rehash_probes)] = s;
+      }
+    }
+  }
+
+  void contains(const Oct2& o) {
+    ++queries;
+    (void)find(o, &probes);
+  }
+};
+
+TEST(OctantHash, GrowthExcludesRehashProbesFromQueryMetric) {
+  HashStats stats;
+  OctantHashSet<2> set(4, &stats);  // capacity 16, same as the reference
+  RefHash ref;
+  Rng rng(42);
+  const auto root = root_octant<2>();
+  for (int i = 0; i < 3000; ++i) {
+    const auto o = random_octant(rng, root, 9);
+    set.insert(o);
+    ref.insert(o);
+    if (i % 4 == 0) {
+      const auto probe = random_octant(rng, root, 9);
+      set.contains(probe);
+      ref.contains(probe);
+    }
+  }
+  ASSERT_GT(ref.grows, 3) << "the schedule must cross several resizes";
+  ASSERT_GT(ref.rehash_probes, 0u)
+      << "rehashing this many octants must collide at least once";
+  EXPECT_EQ(set.size(), ref.size);
+  EXPECT_EQ(stats.queries, ref.queries);
+  // Exact counts: query probes must not include the internal rehash walk.
+  EXPECT_EQ(stats.probes, ref.probes);
+  EXPECT_EQ(stats.rehash_probes, ref.rehash_probes);
+}
+
 TEST(OctantHash, TaggingAndCollect) {
   OctantHashSet<2> set;
   const auto root = root_octant<2>();
