@@ -4,8 +4,14 @@
 /// print a shrunk, ready-to-paste regression test for every failure.
 ///
 /// Usage:
-///   fuzz_main [--seeds N] [--seed0 S] [--jobs T] [--inject-bug 1]
-///             [--no-shrink] [--shrink-evals N] [--max-failures N]
+///   fuzz_main [--seeds N] [--seed0 S] [--jobs T] [--tier full|large]
+///             [--inject-bug N] [--no-shrink] [--shrink-evals N]
+///             [--max-failures N]
+///
+/// --tier large runs the oracle-free battery on ~10^5-octant cases with
+/// 64-192 simulated ranks (see src/audit/case.hpp).  --inject-bug N plants
+/// FaultInjection value N (1 = skip-insulation-neighbor, 2 = order-
+/// dependent reduce) so the battery's teeth can be demonstrated.
 ///
 /// Exit status 0 iff every case passed.  A failure report always includes
 /// the replay command line for its seed.
@@ -25,14 +31,32 @@ int main(int argc, char** argv) {
   opt.shrink = !cli.has("no-shrink");
   opt.shrink_evals = static_cast<int>(cli.get_int("shrink-evals", 300));
   opt.max_failures = static_cast<int>(cli.get_int("max-failures", 8));
-  if (cli.get_int("inject-bug", 0) != 0) {
-    opt.inject = FaultInjection::kSkipInsulationNeighbor;
+  const std::string tier = cli.get_string("tier", "full");
+  if (tier == "large") {
+    opt.tier = audit::Tier::kLarge;
+  } else if (tier != "full") {
+    std::fprintf(stderr, "unknown --tier '%s' (use full or large)\n",
+                 tier.c_str());
+    return 2;
+  }
+  switch (cli.get_int("inject-bug", 0)) {
+    case 0:
+      break;
+    case 1:
+      opt.inject = FaultInjection::kSkipInsulationNeighbor;
+      break;
+    case 2:
+      opt.inject = FaultInjection::kOrderDependentReduce;
+      break;
+    default:
+      std::fprintf(stderr, "unknown --inject-bug value\n");
+      return 2;
   }
 
-  std::printf("fuzz: seeds [%llu, %llu), jobs=%d%s\n",
+  std::printf("fuzz: seeds [%llu, %llu), jobs=%d, tier=%s%s\n",
               static_cast<unsigned long long>(opt.seed0),
               static_cast<unsigned long long>(opt.seed0) + opt.seeds,
-              opt.jobs,
+              opt.jobs, tier.c_str(),
               opt.inject != FaultInjection::kNone ? ", fault injection ON"
                                                   : "");
 
@@ -42,10 +66,14 @@ int main(int argc, char** argv) {
     std::printf("\nFAIL seed=%llu invariant=%s\n  %s\n  config: %s\n",
                 static_cast<unsigned long long>(f.seed), f.invariant.c_str(),
                 f.detail.c_str(), f.config.c_str());
-    std::printf("  replay: %s --seeds 1 --seed0 %llu%s\n",
+    std::printf("  replay: %s --seeds 1 --seed0 %llu%s",
                 cli.program().c_str(),
                 static_cast<unsigned long long>(f.seed),
-                opt.inject != FaultInjection::kNone ? " --inject-bug 1" : "");
+                opt.tier == audit::Tier::kLarge ? " --tier large" : "");
+    if (opt.inject != FaultInjection::kNone) {
+      std::printf(" --inject-bug %d", static_cast<int>(opt.inject));
+    }
+    std::printf("\n");
     std::printf("  minimized to %zu octants; regression test:\n\n%s\n",
                 f.repro_octants, f.repro.c_str());
   }

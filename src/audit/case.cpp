@@ -8,10 +8,11 @@
 
 namespace octbal::audit {
 
-CaseConfig random_case_config(std::uint64_t seed) {
+CaseConfig random_case_config(std::uint64_t seed, Tier tier) {
   Rng rng(seed);
   CaseConfig c;
   c.seed = seed;
+  c.tier = tier;
   c.dim = rng.chance(0.6) ? 2 : 3;
 
   if (rng.chance(0.75)) {
@@ -36,6 +37,17 @@ CaseConfig random_case_config(std::uint64_t seed) {
   c.lmax = c.dim == 2 ? 3 + static_cast<int>(rng.below(3))
                       : 2 + static_cast<int>(rng.below(2));
   c.density = 0.2 + rng.uniform() * (c.dim == 2 ? 0.35 : 0.25);
+  if (tier == Tier::kLarge) {
+    // Oracle-free battery: cases can afford ~10^5 octants and P >= 64.
+    // The switch draws above stay in place so the pipeline-configuration
+    // coverage matches the full tier seed for seed; only the size knobs
+    // (ranks, depth, refinement density) are overridden.
+    c.ranks = 64 * (1 + static_cast<int>(rng.below(3)));  // 64, 128, 192
+    c.lmax = c.dim == 2 ? 9 + static_cast<int>(rng.below(2))
+                        : 6 + static_cast<int>(rng.below(2));
+    c.density = c.dim == 2 ? 0.55 + rng.uniform() * 0.15
+                           : 0.34 + rng.uniform() * 0.08;
+  }
 
   const double w = rng.uniform();
   if (c.conn == ConnKind::kBrick && w < 0.15) {
@@ -68,7 +80,9 @@ CaseConfig random_case_config(std::uint64_t seed) {
 
 std::string describe(const CaseConfig& c) {
   std::ostringstream os;
-  os << "seed=" << c.seed << " dim=" << c.dim;
+  os << "seed=" << c.seed;
+  if (c.tier == Tier::kLarge) os << " tier=large";
+  os << " dim=" << c.dim;
   if (c.conn == ConnKind::kBrick) {
     os << " brick=" << c.dims[0];
     for (int i = 1; i < c.dim; ++i) os << "x" << c.dims[i];

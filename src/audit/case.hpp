@@ -33,10 +33,24 @@ enum class PartitionKind : std::uint8_t {
   kWeighted = 2,  ///< partition_weighted by (1 + level)
 };
 
+/// How much of the invariant battery a case affords.  The full tier runs
+/// every check including the serial fixed-point oracle and the old-vs-new
+/// differential, both of which are O(case size) *re-executions* of the
+/// whole balance — affordable at fuzz scale (a few thousand leaves, P <= 8)
+/// but not beyond.  The large tier drops exactly those oracle re-runs
+/// (serial_diff, old_new_diff, seed_oracle) and keeps the oracle-free
+/// checks — structure, balance, scramble/partition/thread invariance — so
+/// randomized cases can grow to ~10^5 octants and P >= 64.
+enum class Tier : std::uint8_t {
+  kFull = 0,
+  kLarge = 1,
+};
+
 /// Everything that defines one fuzz case.  Filled by random_case_config();
 /// a shrunk repro may carry a hand-simplified copy.
 struct CaseConfig {
   std::uint64_t seed = 0;
+  Tier tier = Tier::kFull;  ///< which invariant battery the case affords
   int dim = 2;  ///< 2 or 3
 
   ConnKind conn = ConnKind::kBrick;
@@ -64,8 +78,11 @@ struct CaseConfig {
   bool check_threads = true;
 };
 
-/// Deterministically expand \p seed into a full case configuration.
-CaseConfig random_case_config(std::uint64_t seed);
+/// Deterministically expand \p seed into a full case configuration.  The
+/// large tier draws the same pipeline switches but scales the workload to
+/// ~10^5 octants and 64-192 simulated ranks (affordable only because its
+/// invariant battery is oracle-free).
+CaseConfig random_case_config(std::uint64_t seed, Tier tier = Tier::kFull);
 
 /// One-line human-readable description (for failure reports and logs).
 std::string describe(const CaseConfig& cfg);

@@ -50,7 +50,7 @@ FuzzSummary Fuzzer::run() const {
                             std::vector<FuzzFailure>& out) {
     if (failed.load(std::memory_order_relaxed) >= opt_.max_failures) return;
     cases.fetch_add(1, std::memory_order_relaxed);
-    CaseConfig cfg = random_case_config(seed);
+    CaseConfig cfg = random_case_config(seed, opt_.tier);
     cfg.opt.inject = opt_.inject;
     cfg.check_threads = allow_threads;
     FuzzFailure fl;

@@ -18,6 +18,7 @@ struct FuzzOptions {
   int seeds = 50;            ///< number of consecutive seeds to run
   std::uint64_t seed0 = 1;   ///< first seed of the range
   int jobs = 1;              ///< worker threads; >1 disables thread sweeps
+  Tier tier = Tier::kFull;   ///< invariant battery / case-size tier
   FaultInjection inject = FaultInjection::kNone;  ///< self-test channel
   bool shrink = true;        ///< minimize failures before reporting
   int shrink_evals = 300;    ///< invariant re-checks per shrink

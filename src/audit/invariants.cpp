@@ -123,15 +123,33 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
     return InvariantReport::fail("balance", os.str());
   }
 
-  const auto want = forest_balance_serial(data.leaves, data.conn, cfg.k);
-  if (main.got != want) {
-    return InvariantReport::fail("serial_diff",
-                                 first_diff<D>(main.got, want));
+  // Delivery-order invariance: rerun with the SimComm delivery order
+  // toggled — whichever of the two runs is scrambled, the other is
+  // canonical, so this always compares canonical against scrambled
+  // delivery.  The forest may not depend on the order messages are
+  // handed to a rank (the delivery-order analog of thread determinism).
+  {
+    CaseConfig alt_cfg = cfg;
+    alt_cfg.scramble = !cfg.scramble;
+    const PipelineRun<D> alt = run_pipeline(alt_cfg, data, cfg.opt, cfg.ranks);
+    if (alt.got != main.got) {
+      return InvariantReport::fail(
+          "scramble_invariance",
+          std::string("forest differs between canonical and scrambled "
+                      "delivery order: ") +
+              first_diff<D>(alt.got, main.got));
+    }
   }
 
-  // Old-vs-new equivalence: the pre-paper configuration must reach the
-  // same unique coarsest balanced refinement.
-  {
+  if (cfg.tier == Tier::kFull) {
+    const auto want = forest_balance_serial(data.leaves, data.conn, cfg.k);
+    if (main.got != want) {
+      return InvariantReport::fail("serial_diff",
+                                   first_diff<D>(main.got, want));
+    }
+
+    // Old-vs-new equivalence: the pre-paper configuration must reach the
+    // same unique coarsest balanced refinement.
     BalanceOptions old = BalanceOptions::old_config();
     old.k = cfg.opt.k;
     old.inject = cfg.opt.inject;
@@ -152,7 +170,7 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
   }
 
   // λ/seed decisions vs the ripple oracle on sampled disjoint leaf pairs.
-  {
+  if (cfg.tier == Tier::kFull) {
     Rng rng(cfg.seed ^ 0x9E3779B97F4A7C15ull);
     const auto& lv = data.leaves;
     std::string why;

@@ -11,6 +11,10 @@
 ///   "balance"               — forest_find_violation: no 2:1 violation
 ///                             across any codim <= k boundary, tree
 ///                             boundaries included.
+///   "scramble_invariance"   — rerunning with the SimComm delivery order
+///                             toggled (canonical vs pseudo-randomly
+///                             scrambled) produces the identical forest;
+///                             one of the two runs is always canonical.
 ///   "serial_diff"           — octant-for-octant equality with the serial
 ///                             fixed-point oracle forest_balance_serial.
 ///   "old_new_diff"          — the pre-paper configuration (old subtree
@@ -25,6 +29,10 @@
 ///   "thread_determinism"    — gathered forest and serialized obs metrics
 ///                             are byte-identical at 1 and cfg.threads
 ///                             pool threads.
+///
+/// Tier::kLarge skips the oracle re-runs (serial_diff, old_new_diff,
+/// seed_oracle) and keeps everything else, which is what lets the fuzzer
+/// afford ~10^5-octant cases and P >= 64 (see case.hpp).
 
 #include <cstdint>
 #include <string>

@@ -49,13 +49,17 @@ std::vector<TreeOct<D>> candidates_at(const std::vector<TreeOct<D>>& lv,
   return out;
 }
 
-/// Invariant equivalence for shrinking: "balance" and "serial_diff" are two
-/// symptoms of the same defect (a wrong balanced forest) — which one fires
-/// first depends on where the first violation happens to sit, so a
+/// Invariant equivalence for shrinking: "balance", "serial_diff" and
+/// "scramble_invariance" are symptoms of the same defect (a wrong balanced
+/// forest) — which one fires first depends on where the first violation
+/// happens to sit and on which delivery order tripped the bug, so a
 /// simplification may legitimately flip between them.
 bool same_failure_class(const std::string& a, const std::string& b) {
   const auto cls = [](const std::string& s) -> std::string {
-    return (s == "balance" || s == "serial_diff") ? "result" : s;
+    return (s == "balance" || s == "serial_diff" ||
+            s == "scramble_invariance")
+               ? "result"
+               : s;
   };
   return cls(a) == cls(b);
 }
@@ -145,7 +149,10 @@ std::string Shrinker::regression_source(const CaseConfig& cfg,
   std::ostringstream os;
   os << "// Shrunk fuzz repro; replay with: fuzz_main --seeds 1 --seed0 "
      << cfg.seed;
-  if (cfg.opt.inject != FaultInjection::kNone) os << " --inject-bug 1";
+  if (cfg.tier == Tier::kLarge) os << " --tier large";
+  if (cfg.opt.inject != FaultInjection::kNone) {
+    os << " --inject-bug " << static_cast<int>(cfg.opt.inject);
+  }
   os << "\n// Config: " << describe(cfg) << "\n"
      << "// Failing invariant: " << report.invariant << " -- "
      << report.detail << "\n";

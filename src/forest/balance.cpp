@@ -119,6 +119,9 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   obs::Counter& c_queries = met.counter("balance/queries_sent");
   obs::Counter& c_responses = met.counter("balance/response_items");
   obs::Counter& c_leaves = met.counter("balance/leaves_after");
+  obs::Counter& c_owner_lookups = met.counter("balance/owner_lookups");
+  obs::Counter& c_owner_cache = met.counter("balance/owner_cache_hits");
+  obs::Counter& c_owner_cmp = met.counter("balance/owner_comparisons");
   obs::Histogram& h_queries_per_dest =
       met.histogram("balance/queries_per_dest");
 
@@ -128,6 +131,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   std::vector<double> rank_secs(P);
   std::vector<SubtreeBalanceStats> rank_subtree(P);
   std::vector<std::uint64_t> rank_count(P);
+  std::vector<OwnerScanStats> rank_owner(P);
   const auto reduce_secs = [&]() {
     double worst = 0;
     for (int r = 0; r < P; ++r) worst = std::max(worst, rank_secs[r]);
@@ -180,6 +184,10 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
       qsend[r].assign(P, {});
       std::vector<std::size_t> last_mark(P, static_cast<std::size_t>(-1));
       const auto& mine = f.local(r);
+      // Owner resolution for this rank's stream of insulation pieces:
+      // per-octant envelope windows + a one-entry last-hit cache replace
+      // the per-offset O(log P) binary searches (DESIGN.md §2.10).
+      OwnerWindow<D> owners(f, &rank_owner[r]);
       // The rank's own curve span: insulation pieces that stay inside the
       // tree and inside this span need no owner search and no query at all
       // (the bulk of the octants on a large partition — p4est likewise
@@ -193,26 +201,56 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
         // produce a query.  Morton keys are monotone in componentwise
         // coordinate order, so the (-1..-1) and (+1..+1) corner pieces
         // bound every piece's key interval.
-        {
-          const coord_t hh = side_len(to.oct);
-          bool interior = true;
-          for (int dd = 0; dd < D && interior; ++dd) {
-            interior = to.oct.x[dd] >= hh &&
-                       to.oct.x[dd] + 2 * hh <= root_len<D>;
-          }
-          if (interior) {
-            Octant<D> lo_p = to.oct, hi_p = to.oct;
-            for (int dd = 0; dd < D; ++dd) {
-              lo_p.x[dd] -= hh;
-              hi_p.x[dd] += hh;
-            }
-            const GlobalPos env_lo{to.tree, morton_key(lo_p)};
-            const GlobalPos env_hi{
-                to.tree,
-                morton_key(hi_p) + (morton_t{1} << (D * size_exp(hi_p))) - 1};
-            if (own_lo <= env_lo && env_hi < own_hi) continue;
-          }
+        const coord_t hh = side_len(to.oct);
+        bool interior = true;
+        for (int dd = 0; dd < D && interior; ++dd) {
+          interior =
+              to.oct.x[dd] >= hh && to.oct.x[dd] + 2 * hh <= root_len<D>;
         }
+        if (interior) {
+          Octant<D> lo_p = to.oct, hi_p = to.oct;
+          for (int dd = 0; dd < D; ++dd) {
+            lo_p.x[dd] -= hh;
+            hi_p.x[dd] += hh;
+          }
+          const GlobalPos env_lo{to.tree, morton_key(lo_p)};
+          const GlobalPos env_hi{
+              to.tree,
+              morton_key(hi_p) + (morton_t{1} << (D * size_exp(hi_p))) - 1};
+          if (own_lo <= env_lo && env_hi < own_hi) continue;
+          // The envelope straddles a partition boundary: resolve its owner
+          // window once; every piece below resolves inside it.
+          owners.set_window(env_lo, GlobalPos{to.tree, env_hi.key + 1});
+          // Interior octant: every insulation piece exists, stays in this
+          // tree and keeps the identity frame, so the pieces are plain
+          // coordinate offsets — no connectivity lookups needed.
+          const morton_t sz = morton_t{1} << (D * size_exp(to.oct));
+          for (std::size_t oi = 0; oi < n_offs; ++oi) {
+            const auto& off = all_offs[oi];
+            Octant<D> piece = to.oct;
+            for (int dd = 0; dd < D; ++dd) {
+              piece.x[dd] += static_cast<coord_t>(off[dd]) * hh;
+            }
+            const GlobalPos lo{to.tree, morton_key(piece)};
+            const GlobalPos hi{to.tree, lo.key + sz};
+            if (own_lo <= lo && GlobalPos{to.tree, hi.key - 1} < own_hi) {
+              continue;  // fully interior to this rank's subtree
+            }
+            const auto [r0, r1] = owners.owners_of(lo, hi);
+            for (int dest = r0; dest <= r1; ++dest) {
+              if (f.marker(dest) == f.marker(dest + 1)) continue;  // empty
+              if (dest == r) continue;  // covered by local subtree balance
+              if (last_mark[dest] == i) continue;          // already queued
+              last_mark[dest] = i;
+              qsend[r][dest].push_back(to_wire(to));
+              ++rank_count[r];
+            }
+          }
+          continue;
+        }
+        // Boundary octant: pieces may cross into other trees and frames;
+        // resolve through the connectivity, with only the last-hit cache.
+        owners.clear_window();
         for (std::size_t oi = 0; oi < n_offs; ++oi) {
           const auto& off = all_offs[oi];
           const auto nb = conn.neighbor(to.tree, to.oct, off);
@@ -221,14 +259,13 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
           const GlobalPos hi{
               nb->tree,
               morton_key(nb->oct) + (morton_t{1} << (D * size_exp(nb->oct)))};
-          if (nb->tree == to.tree &&
-              nb->xform == FrameTransform<D>::identity() && own_lo <= lo &&
+          const bool same_frame =
+              nb->xform == FrameTransform<D>::identity();
+          if (nb->tree == to.tree && same_frame && own_lo <= lo &&
               GlobalPos{nb->tree, hi.key - 1} < own_hi) {
             continue;  // fully interior to this rank's subtree
           }
-          const auto [r0, r1] = f.owners_of(lo, hi);
-          const bool same_frame =
-              nb->xform == FrameTransform<D>::identity();
+          const auto [r0, r1] = owners.owners_of(lo, hi);
           for (int dest = r0; dest <= r1; ++dest) {
             if (f.marker(dest) == f.marker(dest + 1)) continue;  // empty rank
             // Same rank, same tree, and no boundary crossing: covered by
@@ -254,6 +291,10 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
     for (int r = 0; r < P; ++r) {
       rep.queries_sent += rank_count[r];
       c_queries.add(r, rank_count[r]);
+      rep.owner_scan += rank_owner[r];
+      c_owner_lookups.add(r, rank_owner[r].lookups);
+      c_owner_cache.add(r, rank_owner[r].cache_hits);
+      c_owner_cmp.add(r, rank_owner[r].comparisons);
     }
     rep.t_query_response += reduce_secs();
   }
@@ -373,11 +414,12 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
         for (std::size_t q = i; q < j; ++q) v.push_back(mine[q].oct);
       }
       std::map<int, std::vector<WirePair<D>>> reply;
+      const auto& offs = full_offsets<D>();
       for (const auto& [from, queries] : qrecv[r]) {
         auto& out = reply[from];
         for (const auto& w : queries) {
           const TreeOct<D> q = from_wire(w);
-          for (const auto& off : full_offsets<D>()) {
+          for (const auto& off : offs) {
             const auto nb = conn.neighbor(q.tree, q.oct, off);
             if (!nb) continue;
             const auto it = by_tree.find(nb->tree);
@@ -456,6 +498,26 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
             o.x = it.x;
             groups[it.query].push_back(o);
           }
+        }
+        // Fault injection (audit self-tests): fold the response senders
+        // through a polynomial hash *in delivery order* — a deliberately
+        // non-commutative, delivery-order-sensitive "reduction" — and drop
+        // the last query group when the fold lands odd.  Under canonical
+        // delivery this is a deterministic (wrong) result; under scrambled
+        // delivery the fold, and hence the forest, changes with the order,
+        // which is exactly what the scramble invariant must detect.
+        if (opt.inject == FaultInjection::kOrderDependentReduce &&
+            !groups.empty()) {
+          std::uint64_t acc = 0x2012;
+          for (const auto& [from, items] : rrecv[r]) {
+            acc = acc * 0x100000001b3ull +
+                  static_cast<std::uint64_t>(from + 1);
+          }
+          // splitmix finalizer: the decision bit depends on sender *order*,
+          // not just the sender multiset.
+          acc = (acc ^ (acc >> 30)) * 0xbf58476d1ce4e5b9ull;
+          acc = (acc ^ (acc >> 27)) * 0x94d049bb133111ebull;
+          if ((acc ^ (acc >> 31)) & 1) groups.erase(std::prev(groups.end()));
         }
         std::vector<TreeOct<D>> extra;
         for (auto& [qw, octs] : groups) {

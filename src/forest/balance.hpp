@@ -40,6 +40,12 @@ enum class FaultInjection : std::uint8_t {
   /// losing every remote constraint that reaches a rank only through that
   /// neighbor piece — a realistic "missed one neighbor direction" bug.
   kSkipInsulationNeighbor = 1,
+  /// Phase 4 folds the response senders through a non-commutative hash *in
+  /// delivery order* and drops one query group when the fold lands odd — a
+  /// deliberately delivery-order-sensitive reduction.  The audit battery's
+  /// scramble invariant must catch it (src/audit self-tests), the same way
+  /// kSkipInsulationNeighbor proves the balance invariants have teeth.
+  kOrderDependentReduce = 2,
 };
 
 struct BalanceOptions {
@@ -85,6 +91,7 @@ struct BalanceReport {
   std::uint64_t queries_sent = 0;    ///< query octants shipped (incl. self)
   std::uint64_t response_items = 0;  ///< seeds or raw octants answered
   SubtreeBalanceStats subtree;    ///< accumulated serial-balance counters
+  OwnerScanStats owner_scan;      ///< phase-2 windowed owner resolution
 };
 
 /// Run one-pass 2:1 balance over the forest.  The forest is modified in

@@ -71,6 +71,10 @@ class Forest {
   /// Partition markers: rank r owns SFC positions [marker(r), marker(r+1)).
   const GlobalPos& marker(int r) const { return marks_[r]; }
 
+  /// The full marker array (size num_ranks() + 1), for callers that resolve
+  /// owners with their own bounded searches (OwnerWindow below).
+  const std::vector<GlobalPos>& markers() const { return marks_; }
+
   /// All ranks whose ranges intersect [lo, hi) — half-open in curve
   /// positions.  Returns {first, last} rank inclusive, or {1, 0} if none.
   std::pair<int, int> owners_of(const GlobalPos& lo, const GlobalPos& hi) const;
@@ -113,6 +117,143 @@ class Forest {
   Connectivity<D> conn_;
   std::vector<std::vector<TreeOct<D>>> local_;
   std::vector<GlobalPos> marks_;  // size nranks + 1
+};
+
+/// Counters of the windowed owner resolution (OwnerWindow).  All counts are
+/// deterministic and machine independent — tests/test_perf_guards.cpp pins
+/// per-octant upper bounds on them so the fast paths cannot silently rot.
+struct OwnerScanStats {
+  std::uint64_t lookups = 0;        ///< owner resolutions requested
+  std::uint64_t cache_hits = 0;     ///< served by the one-entry last-hit cache
+  std::uint64_t window_scans = 0;   ///< served by a bounded in-window scan
+  std::uint64_t full_searches = 0;  ///< fell back to the O(log P) search
+  std::uint64_t comparisons = 0;    ///< partition-marker comparisons, all paths
+
+  OwnerScanStats& operator+=(const OwnerScanStats& o) {
+    lookups += o.lookups;
+    cache_hits += o.cache_hits;
+    window_scans += o.window_scans;
+    full_searches += o.full_searches;
+    comparisons += o.comparisons;
+    return *this;
+  }
+};
+
+/// Owner resolution for a *stream* of nearby ranges, replacing per-range
+/// Forest::owners_of binary searches in the phase-2 query walk and the
+/// ghost candidate walk (the ROADMAP's hot spot at large P).
+///
+/// Exactness: owners_of(lo, hi) is monotone in both bounds — shrinking
+/// [lo, hi) can only shrink the owner range.  So once the insulation
+/// envelope's owner window [w0, w1] is resolved (one O(log P) search per
+/// octant), every piece of that envelope resolves inside the window with a
+/// bounded scan, and a piece covered by the previously returned single rank
+/// is answered by two marker comparisons.  Every path returns exactly what
+/// Forest::owners_of returns; only the search work changes.
+template <int D>
+class OwnerWindow {
+ public:
+  explicit OwnerWindow(const Forest<D>& f, OwnerScanStats* stats = nullptr)
+      : marks_(f.markers()),
+        p_(f.num_ranks()),
+        stats_(stats) {}
+
+  /// Resolve the owner window of the envelope [lo, hi) — one full search.
+  /// Subsequent owners_of calls for subranges scan inside the window.
+  void set_window(const GlobalPos& lo, const GlobalPos& hi) {
+    win_lo_ = lo;
+    win_hi_ = hi;
+    const auto [a, b] = full_search(lo, hi);
+    w0_ = a;
+    w1_ = b;
+    have_window_ = a <= b;
+  }
+
+  /// Forget the window (the cache stays: it re-validates on every hit).
+  void clear_window() { have_window_ = false; }
+
+  /// Exactly Forest::owners_of(lo, hi), via the cache / window fast paths.
+  std::pair<int, int> owners_of(const GlobalPos& lo, const GlobalPos& hi) {
+    if (stats_ != nullptr) ++stats_->lookups;
+    // One-entry last-hit cache: consecutive pieces of the same insulation
+    // layer overwhelmingly land on the same rank, whose span covering
+    // [lo, hi) proves {cache_, cache_} is the exact answer.
+    if (cache_ >= 0) {
+      count(2);
+      if (!(lo < marks_[cache_]) && le(hi, marks_[cache_ + 1])) {
+        if (stats_ != nullptr) ++stats_->cache_hits;
+        return {cache_, cache_};
+      }
+    }
+    int first, last;
+    if (have_window_ && le(win_lo_, lo) && le(hi, win_hi_)) {
+      count(2);
+      if (stats_ != nullptr) ++stats_->window_scans;
+      if (w1_ - w0_ <= kLinearMax) {
+        // Bounded forward scan: find the last marker <= lo, then extend to
+        // the last marker < hi.  The window guarantee keeps both in
+        // [w0_, w1_], so the scans cannot run off the true answer.
+        first = w0_;
+        while (first < w1_ && (count(1), le(marks_[first + 1], lo))) ++first;
+        last = first;
+        while (last < w1_ && (count(1), marks_[last + 1] < hi)) ++last;
+      } else {
+        // Wide window (very coarse octant): bounded binary search.
+        std::tie(first, last) = bounded_search(lo, hi, w0_, w1_);
+      }
+    } else {
+      if (have_window_) count(2);
+      if (stats_ != nullptr) ++stats_->full_searches;
+      std::tie(first, last) = full_search(lo, hi);
+      if (last < first) {
+        cache_ = -1;
+        return {1, 0};
+      }
+    }
+    cache_ = first == last ? first : -1;
+    return {first, last};
+  }
+
+ private:
+  static constexpr int kLinearMax = 8;  ///< window width for linear scans
+
+  void count(int n) {
+    if (stats_ != nullptr) stats_->comparisons += static_cast<std::uint64_t>(n);
+  }
+  bool le(const GlobalPos& a, const GlobalPos& b) const { return !(b < a); }
+
+  /// Forest::owners_of, with counted comparisons.
+  std::pair<int, int> full_search(const GlobalPos& lo, const GlobalPos& hi) {
+    return bounded_search(lo, hi, 0, p_ - 1);
+  }
+
+  /// owners_of restricted to marker indices [a, b + 1] — exact whenever the
+  /// true answer lies in [a, b].
+  std::pair<int, int> bounded_search(const GlobalPos& lo, const GlobalPos& hi,
+                                     int a, int b) {
+    const auto cmp = [this](const GlobalPos& x, const GlobalPos& y) {
+      if (stats_ != nullptr) ++stats_->comparisons;
+      return x < y;
+    };
+    const auto begin = marks_.begin() + a;
+    const auto end = marks_.begin() + b + 2;  // one past marker b + 1
+    int first =
+        static_cast<int>(std::upper_bound(begin, end, lo, cmp) -
+                         marks_.begin()) - 1;
+    if (first < a) first = a;
+    int last = static_cast<int>(std::lower_bound(begin, end, hi, cmp) -
+                                marks_.begin()) - 1;
+    if (last > b) last = b;
+    return {first, last};
+  }
+
+  const std::vector<GlobalPos>& marks_;
+  int p_;
+  OwnerScanStats* stats_;
+  GlobalPos win_lo_{}, win_hi_{};
+  int w0_ = 0, w1_ = -1;
+  bool have_window_ = false;
+  int cache_ = -1;  ///< last single-rank answer, -1 when invalid
 };
 
 /// Summary statistics of a forest, for reporting and regression checks.

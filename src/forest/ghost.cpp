@@ -56,23 +56,81 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
   obs::Counter& c_entries = met.counter("ghost/entries");
 
   // Sender side: my leaf o is a (conservative) ghost candidate for every
-  // rank owning part of a same-size neighbor piece of o.
+  // rank owning part of a same-size neighbor piece of o.  Owner resolution
+  // uses the same per-octant envelope window + last-hit cache as the
+  // balance Query phase (DESIGN.md §2.10); candidates landing on the rank
+  // itself are discarded below, so octants whose whole neighborhood
+  // envelope sits inside the rank's own curve span produce nothing and can
+  // skip the offset loop entirely.
   std::vector<std::vector<std::vector<WireGhost<D>>>> send(P);
   std::vector<std::vector<int>> receivers(P);
+  std::vector<OwnerScanStats> rank_owner(P);
+  const auto& offs = balance_offsets<D>(k);
   par::parallel_for_ranks(P, [&](int r) {
     OBS_SPAN_RANK("ghost_candidates", r);
     send[r].assign(P, {});
     std::vector<std::size_t> last(P, static_cast<std::size_t>(-1));
     const auto& mine = f.local(r);
+    OwnerWindow<D> owners(f, &rank_owner[r]);
+    const GlobalPos own_lo = f.marker(r);
+    const GlobalPos own_hi = f.marker(r + 1);
     for (std::size_t i = 0; i < mine.size(); ++i) {
       const auto& to = mine[i];
-      for (const auto& off : balance_offsets<D>(k)) {
+      const coord_t hh = side_len(to.oct);
+      bool interior = true;
+      for (int dd = 0; dd < D && interior; ++dd) {
+        interior =
+            to.oct.x[dd] >= hh && to.oct.x[dd] + 2 * hh <= root_len<D>;
+      }
+      if (interior) {
+        // Interior octant: every same-size neighbor piece exists, stays in
+        // this tree and keeps the identity frame.  The (-1..-1)/(+1..+1)
+        // corner pieces bound every piece's key interval, so if the whole
+        // envelope is inside this rank's span every candidate would be a
+        // self-candidate (q == r) and is dropped anyway.
+        Octant<D> lo_p = to.oct, hi_p = to.oct;
+        for (int dd = 0; dd < D; ++dd) {
+          lo_p.x[dd] -= hh;
+          hi_p.x[dd] += hh;
+        }
+        const GlobalPos env_lo{to.tree, morton_key(lo_p)};
+        const GlobalPos env_hi{
+            to.tree,
+            morton_key(hi_p) + (morton_t{1} << (D * size_exp(hi_p))) - 1};
+        if (own_lo <= env_lo && env_hi < own_hi) continue;
+        owners.set_window(env_lo, GlobalPos{to.tree, env_hi.key + 1});
+        const morton_t sz = morton_t{1} << (D * size_exp(to.oct));
+        for (const auto& off : offs) {
+          Octant<D> piece = to.oct;
+          for (int dd = 0; dd < D; ++dd) {
+            piece.x[dd] += static_cast<coord_t>(off[dd]) * hh;
+          }
+          const GlobalPos lo{to.tree, morton_key(piece)};
+          const GlobalPos hi{to.tree, lo.key + sz};
+          if (own_lo <= lo && GlobalPos{to.tree, hi.key - 1} < own_hi) {
+            continue;  // all owners == r: self-candidates only
+          }
+          const auto [a, b] = owners.owners_of(lo, hi);
+          for (int q = a; q <= b; ++q) {
+            if (q == r || f.marker(q) == f.marker(q + 1)) continue;
+            if (last[q] == i) continue;
+            last[q] = i;
+            send[r][q].push_back(
+                WireGhost<D>{to.tree, to.oct.level, to.oct.x});
+          }
+        }
+        continue;
+      }
+      // Boundary octant: pieces may cross trees and frames; resolve via
+      // the connectivity, with only the last-hit cache.
+      owners.clear_window();
+      for (const auto& off : offs) {
         const auto nb = conn.neighbor(to.tree, to.oct, off);
         if (!nb) continue;
         const GlobalPos lo{nb->tree, morton_key(nb->oct)};
         const GlobalPos hi{nb->tree, morton_key(nb->oct) +
                                          (morton_t{1} << (D * size_exp(nb->oct)))};
-        const auto [a, b] = f.owners_of(lo, hi);
+        const auto [a, b] = owners.owners_of(lo, hi);
         for (int q = a; q <= b; ++q) {
           if (q == r || f.marker(q) == f.marker(q + 1)) continue;
           if (last[q] == i) continue;
@@ -88,6 +146,7 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
       }
     }
   });
+  for (int r = 0; r < P; ++r) ghost.owner_scan += rank_owner[r];
 
   // The pattern reversal does its own exchanges; attribute them to the
   // ghost build instead of dropping them on the floor.

@@ -30,6 +30,7 @@ struct GhostLayer {
   std::vector<std::vector<Entry>> per_rank;
   CommStats traffic;         ///< candidate-exchange volume
   CommStats notify_traffic;  ///< the pattern-reversal step's own volume
+  OwnerScanStats owner_scan;  ///< sender-side windowed owner resolution
   /// Total traffic of building the layer (exchange + notify) — what a
   /// report should charge the ghost build with.
   CommStats total_traffic() const {

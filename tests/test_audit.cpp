@@ -67,6 +67,51 @@ TEST(Audit, InjectedBalanceBugIsCaughtAndShrunk) {
       << "shrinker failed to reduce any failure to a small repro";
 }
 
+TEST(Audit, InjectedOrderDependentReduceIsCaught) {
+  // The second fault-injection channel: phase 4 folds response senders
+  // through a delivery-order-sensitive hash and drops a query group when
+  // the fold lands odd.  Under canonical delivery the damage is a
+  // deterministic wrong forest (balance / serial_diff); under scrambled
+  // delivery the forest changes with the order, which only the scramble
+  // invariant can see.
+  FuzzOptions opt;
+  opt.seeds = 60;
+  opt.seed0 = 1;
+  opt.inject = FaultInjection::kOrderDependentReduce;
+  opt.max_failures = 4;
+  const FuzzSummary sum = Fuzzer(opt).run();
+  ASSERT_GT(sum.failed, 0)
+      << "fault injection produced no failures: the invariants have no teeth";
+  for (const auto& f : sum.failures) {
+    EXPECT_TRUE(f.invariant == "balance" ||
+                f.invariant == "scramble_invariance" ||
+                f.invariant == "serial_diff")
+        << f.invariant << ": " << f.detail;
+    EXPECT_NE(f.repro.find("TEST(FuzzRegression, Seed"), std::string::npos);
+    EXPECT_FALSE(f.config.empty());
+  }
+}
+
+TEST(Audit, ScrambleInvariantCatchesOrderDependence) {
+  // Seed 173 draws a scrambled-delivery case where the injected fold picks
+  // different query groups to drop under the two delivery orders: every
+  // per-order run is individually plausible, so only comparing the two
+  // forests (the scramble invariant) exposes the defect.  This is the
+  // round-trip proof that the invariant has teeth beyond re-checking
+  // balance.
+  FuzzOptions opt;
+  opt.inject = FaultInjection::kOrderDependentReduce;
+  opt.shrink = false;
+  const Fuzzer fz(opt);
+  CaseConfig cfg = random_case_config(173);
+  ASSERT_TRUE(cfg.scramble);
+  cfg.opt.inject = opt.inject;
+  FuzzFailure f;
+  ASSERT_FALSE(fz.run_case(cfg, &f));
+  EXPECT_EQ(f.invariant, "scramble_invariance") << f.detail;
+  EXPECT_NE(f.detail.find("delivery order"), std::string::npos) << f.detail;
+}
+
 TEST(Audit, FailuresReplayDeterministically) {
   FuzzOptions opt;
   opt.inject = FaultInjection::kSkipInsulationNeighbor;

@@ -199,6 +199,32 @@ TEST(SubtreeEdge, RootOnlyInput) {
   EXPECT_EQ(balance_subtree_new(s, 1, root), s);
 }
 
+TEST(SubtreeEdge, RootLeafYieldsToExteriorRipple) {
+  // A tree that is a single root leaf receiving an exterior constraint: the
+  // ripple refines the tree, and the root leaf — which reduce() can never
+  // preclude, because the root has no parent and sits outside the
+  // preclusion order — must yield.  The new algorithm used to emit the
+  // root alongside the forced octants, handing complete() a non-linear
+  // array and silently corrupting the result (found via an unbalanced
+  // forest on a periodic 3D brick whose coarsest tree was a bare root).
+  constexpr int D = 3;
+  const auto root = root_octant<D>();
+  for (int k = 1; k <= D; ++k) {
+    Octant<D> ext;  // just outside the low-x face of the root
+    ext.level = 4;
+    ext.x[0] = -side_len(ext);
+    ext.x[1] = ext.x[2] = 0;
+    std::vector<Octant<D>> s{ext, root};
+    ASSERT_TRUE(is_linear(s));
+    const auto got = balance_subtree_new(s, k, root);
+    EXPECT_TRUE(is_linear(got)) << "k=" << k;
+    EXPECT_TRUE(is_complete(got, root)) << "k=" << k;
+    EXPECT_TRUE(is_balanced(got, k, root)) << "k=" << k;
+    EXPECT_GT(got.size(), 1u) << "k=" << k;
+    EXPECT_EQ(got, balance_subtree_old(s, k, root)) << "k=" << k;
+  }
+}
+
 TEST(SubtreeEdge, EmptyInputCompletesToRoot) {
   const auto root = root_octant<2>();
   const std::vector<Oct2> s{};

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <string>
+
 #include "core/lambda.hpp"
 #include "core/linear.hpp"
 #include "core/ripple.hpp"
@@ -98,6 +101,124 @@ TEST(LambdaExhaustive, OneD) { exhaustive_check<1>(6); }
 TEST(LambdaExhaustive, TwoD) { exhaustive_check<2>(4); }
 TEST(LambdaExhaustive, ThreeD) { exhaustive_check<3>(3); }
 
+/// Reference for chain_reaches: brute-force enumeration of every
+/// step-to-axes assignment (each step i in [1, e-1] serves any subset of
+/// at most k axes with 2^i each).
+template <int D>
+bool chain_reaches_brute(const std::array<std::uint64_t, D>& g, int e,
+                         int k) {
+  std::vector<int> axes;
+  for (int a = 0; a < D; ++a)
+    if (g[a] > 0) axes.push_back(a);
+  if (axes.empty()) return true;
+  std::vector<int> subs;
+  for (int s = 0; s < (1 << D); ++s)
+    if (std::popcount(static_cast<unsigned>(s)) <= k) subs.push_back(s);
+  const int n = e - 1;
+  std::vector<int> choice(n, 0);
+  while (true) {
+    bool ok = true;
+    for (int a : axes) {
+      std::uint64_t tot = 0;
+      for (int i = 0; i < n; ++i)
+        if (subs[choice[i]] >> a & 1) tot += std::uint64_t{1} << (i + 1);
+      if (tot < g[a]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+    int i = 0;
+    while (i < n && choice[i] == static_cast<int>(subs.size()) - 1)
+      choice[i++] = 0;
+    if (i == n) return false;
+    ++choice[i];
+  }
+}
+
+/// The greedy feasibility procedures inside chain_reaches must agree with
+/// brute-force assignment for every realizable biased gap vector (per-axis
+/// values are 0 for overlapping projections, odd otherwise: block anchors
+/// and family anchors are both even in units of h).
+template <int D>
+void chain_reaches_check(int emax) {
+  std::vector<std::uint64_t> vals{0};
+  for (int e = 2; e <= emax; ++e) {
+    vals.clear();
+    vals.push_back(0);
+    for (std::uint64_t g = 1; g <= (std::uint64_t{1} << e) + 3; g += 2)
+      vals.push_back(g);
+    std::array<std::size_t, D> idx{};
+    while (true) {
+      std::array<std::uint64_t, D> g{};
+      bool allz = true, sorted = true;
+      for (int a = 0; a < D; ++a) {
+        g[a] = vals[idx[a]];
+        if (g[a]) allz = false;
+        if (a > 0 && idx[a] < idx[a - 1]) sorted = false;
+      }
+      if (sorted && !allz) {
+        for (int k = 1; k <= D; ++k) {
+          std::string gs;
+          for (int a = 0; a < D; ++a)
+            gs += (a ? "," : "") + std::to_string(g[a]);
+          ASSERT_EQ(chain_reaches<D>(g, e, k), chain_reaches_brute<D>(g, e, k))
+              << "D=" << D << " e=" << e << " k=" << k << " g=(" << gs << ")";
+        }
+      }
+      int a = 0;
+      while (a < D && idx[a] == vals.size() - 1) idx[a++] = 0;
+      if (a == D) break;
+      ++idx[a];
+    }
+  }
+}
+
+TEST(ChainReaches, MatchesBruteForceAssignment1D) { chain_reaches_check<1>(8); }
+TEST(ChainReaches, MatchesBruteForceAssignment2D) { chain_reaches_check<2>(6); }
+TEST(ChainReaches, MatchesBruteForceAssignment3D) { chain_reaches_check<3>(5); }
+
+/// Regression: gap vectors on the Sierpinski-like fractal corners of the 3D
+/// profiles, where the Table II Carry3 combination is one size exponent too
+/// fine (it under-reports the admissible block size once the level
+/// difference reaches 3).  Each case realizes a biased gap vector g at
+/// block size 2^e and checks finest_exp_in against the ripple oracle; the
+/// old λ condition returned want-1 for all of them.
+TEST(Lambda, ThreeDFractalCornerRegression) {
+  constexpr int D = 3;
+  struct Case {
+    int k;
+    std::array<int, D> g;  // sorted biased gaps (all odd: separated axes)
+    int e;                 // expected admissible block size exponent
+  };
+  const Case cases[] = {
+      {1, {1, 1, 1}, 3},  {1, {1, 1, 3}, 3},  {1, {3, 3, 5}, 4},
+      {1, {1, 5, 5}, 4},  {1, {3, 3, 3}, 4},  {2, {3, 3, 5}, 3},
+      {2, {7, 7, 9}, 4},  {2, {7, 9, 9}, 4},  {2, {5, 11, 11}, 4},
+      {2, {3, 11, 13}, 4},
+  };
+  const int L = 12;  // o's level: deep enough for level differences >= 3
+  const scoord_t h = coord_t{1} << (max_level<D> - L);
+  for (const auto& c : cases) {
+    // Block anchored at A (a multiple of 2^e), o's family below it at a raw
+    // distance of g-1 cells per axis (biased gap g), o at the odd child.
+    Octant<D> blk, o;
+    blk.level = static_cast<level_t>(L - c.e);
+    o.level = L;
+    for (int i = 0; i < D; ++i) {
+      const int A = 1024;
+      blk.x[i] = static_cast<coord_t>(A * h);
+      o.x[i] = static_cast<coord_t>((A - 2 - (c.g[i] - 1) + 1) * h);
+    }
+    const auto t = tk_of(o, c.k, root_octant<D>());
+    const int want = oracle_finest_exp(t, blk);
+    ASSERT_EQ(want, size_exp(o) + c.e)
+        << "oracle disagrees with tabulated case k=" << c.k;
+    EXPECT_EQ(finest_exp_in(o, blk, c.k), want) << "k=" << c.k;
+    EXPECT_TRUE(balanced_pair(o, blk, c.k)) << "k=" << c.k;
+  }
+}
+
 TEST(ClosestBalanced, IsALeafOfTk) {
   constexpr int D = 2;
   const auto root = root_octant<D>();
@@ -168,9 +289,13 @@ namespace octbal {
 namespace {
 
 // Opt-in deep stress version of the exhaustive sweep (runs ~1 minute):
-//   ./test_lambda --gtest_also_run_disabled_tests \
+//   ./test_lambda --gtest_also_run_disabled_tests
 //                 --gtest_filter='*DISABLED_TwoDDeep*'
 TEST(LambdaExhaustive, DISABLED_TwoDDeep) { exhaustive_check<2>(5); }
+
+// Level-4 3D sweep: covers the level-difference-3 region where the Table II
+// Carry3 profile first diverges from the exact chain model.
+TEST(LambdaExhaustive, DISABLED_ThreeDDeep) { exhaustive_check<3>(4); }
 
 }  // namespace
 }  // namespace octbal

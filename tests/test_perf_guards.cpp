@@ -1,0 +1,128 @@
+/// \file test_perf_guards.cpp
+/// \brief Perf-regression guards for the core-kernel perf pass — pinned to
+/// machine-independent *counters*, never wall-clock.  Three layers:
+///
+///   1. Modeled traffic goldens: the optimization contract is that the
+///      partition-window owner resolution and hash/sort tuning change how
+///      fast answers are computed, never the answers — so the modeled
+///      message/byte counts of the fixed Figure 15 workload are pinned
+///      exactly (the same numbers live in BENCH_baseline.json, which CI
+///      diffs against fresh bench runs).
+///   2. Exact HashStats counts: the OctantHashSet sizing in
+///      balance_subtree_new was tuned against the probe counters; pinning
+///      them exactly means any change to sizing, hashing, or the ripple
+///      working set shows up as a diff here first.
+///   3. OwnerScanStats bounds: the phase-2/ghost owner resolution must
+///      keep being served by the one-entry cache and bounded window scans
+///      — per-lookup comparison budgets far below the O(log P) binary
+///      search it replaced, and a capped full-search fallback rate.
+///
+/// The workload is bench_fig15_weak's step-2 configuration (16 ranks,
+/// fractal depth 6, six-octree brick): deterministic, ~2.4e5 balanced
+/// octants, large enough that every fast path is exercised.
+
+#include <gtest/gtest.h>
+
+#include "forest/balance.hpp"
+#include "forest/ghost.hpp"
+#include "workload/workloads.hpp"
+
+namespace octbal {
+namespace {
+
+Forest<3> fig15_step2_forest() {
+  Forest<3> f(Connectivity<3>::brick({3, 2, 1}), 16, 2);
+  fractal_refine(f, 6);
+  f.partition_uniform();
+  return f;
+}
+
+TEST(PerfGuards, ModeledTrafficMatchesBaseline) {
+  // Pinned from the pre-optimization capture (BENCH_baseline.json): the
+  // perf pass changed none of these.  octants_after equality between old
+  // and new config doubles as an output-identity smoke check; the full
+  // octant-level identity is covered by the differential tests.
+  {
+    Forest<3> f = fig15_step2_forest();
+    SimComm comm(16);
+    const BalanceReport rep = balance(f, BalanceOptions::old_config(), comm);
+    EXPECT_EQ(rep.octants_after, 239672u);
+    EXPECT_EQ(rep.comm.messages, 296u);
+    EXPECT_EQ(rep.comm.bytes, 15810328u);
+    EXPECT_EQ(rep.notify_comm.messages, 64u);
+    EXPECT_EQ(rep.notify_comm.bytes, 15360u);
+    EXPECT_EQ(rep.queries_sent, 34240u);
+  }
+  {
+    Forest<3> f = fig15_step2_forest();
+    SimComm comm(16);
+    const BalanceReport rep = balance(f, BalanceOptions::new_config(), comm);
+    EXPECT_EQ(rep.octants_after, 239672u);
+    EXPECT_EQ(rep.comm.messages, 250u);
+    EXPECT_EQ(rep.comm.bytes, 811576u);
+    EXPECT_EQ(rep.notify_comm.messages, 64u);
+    EXPECT_EQ(rep.notify_comm.bytes, 2400u);
+    EXPECT_EQ(rep.queries_sent, 34240u);
+  }
+}
+
+TEST(PerfGuards, ExactHashStatsOnFixedWorkload) {
+  Forest<3> f = fig15_step2_forest();
+  SimComm comm(16);
+  const BalanceReport rep = balance(f, BalanceOptions::new_config(), comm);
+  // The sizing tuning (|S|*2+16 slots) halved probe traffic relative to
+  // the |S|*1+16 seed sizing (134971 probes) at zero rehashes; these are
+  // exact, machine-independent counts — a diff here means the hash set,
+  // its sizing, or the ripple working set changed.
+  EXPECT_EQ(rep.subtree.hash_queries, 1229246u);
+  EXPECT_EQ(rep.subtree.hash_probes, 69136u);
+  EXPECT_EQ(rep.subtree.hash_rehash_probes, 0u);
+  EXPECT_EQ(rep.subtree.binary_searches, 35846u);
+  EXPECT_EQ(rep.subtree.sorted_octants, 49522u);
+}
+
+TEST(PerfGuards, OwnerResolutionStaysWindowed) {
+  Forest<3> f = fig15_step2_forest();
+  SimComm comm(16);
+  const BalanceReport rep = balance(f, BalanceOptions::new_config(), comm);
+  const OwnerScanStats& os = rep.owner_scan;
+  ASSERT_GT(os.lookups, 0u);
+  EXPECT_EQ(os.lookups, os.cache_hits + os.window_scans + os.full_searches);
+  // The one-entry last-hit cache must keep serving the overwhelming
+  // majority (measured: 95.5%), with the O(log P) fallback capped at 5%
+  // (measured: 3.3%).
+  EXPECT_GE(os.cache_hits * 10, os.lookups * 9);
+  EXPECT_LE(os.full_searches * 20, os.lookups);
+  // Comparison budget: <= 3 partition-marker comparisons per lookup
+  // (measured: 2.86), versus ~2*log2(P) ~ 8 for the per-offset binary
+  // search this replaced.  Wall-clock never enters the assertion.
+  EXPECT_LE(os.comparisons, 3 * os.lookups);
+}
+
+TEST(PerfGuards, GhostOwnerResolutionStaysWindowed) {
+  Forest<3> f = fig15_step2_forest();
+  {
+    SimComm comm(16);
+    balance(f, BalanceOptions::new_config(), comm);
+  }
+  SimComm comm(16);
+  const GhostLayer<3> gl = build_ghost_layer(f, 3, comm);
+  std::size_t entries = 0;
+  for (const auto& v : gl.per_rank) entries += v.size();
+  // Modeled ghost traffic on the balanced forest, pinned exactly.
+  EXPECT_EQ(entries, 40800u);
+  EXPECT_EQ(gl.traffic.messages, 154u);
+  EXPECT_EQ(gl.traffic.bytes, 816000u);
+  const OwnerScanStats& os = gl.owner_scan;
+  ASSERT_GT(os.lookups, 0u);
+  EXPECT_EQ(os.lookups, os.cache_hits + os.window_scans + os.full_searches);
+  // The ghost candidate walk hops across rank boundaries far more often
+  // than the query walk (it *targets* the boundary), so its budgets are
+  // looser but still well below the binary-search baseline: >= 70% cache
+  // hits (measured 77.8%) and <= 5 comparisons per lookup (measured 4.0).
+  EXPECT_GE(os.cache_hits * 10, os.lookups * 7);
+  EXPECT_LE(os.comparisons, 5 * os.lookups);
+}
+
+}  // namespace
+}  // namespace octbal
