@@ -50,6 +50,8 @@ struct RunResult {
   double modeled_time = 0;    ///< α–β time of the whole run
   obs::Snapshot metrics;      ///< the run's full metrics registry
   std::vector<SimComm::Round> rounds;  ///< per-round send/recv matrices
+  std::uint64_t rounds_truncated = 0;  ///< rounds dropped by the record cap
+  std::vector<SimComm::PhaseCost> critical_path;  ///< per-phase attribution
 };
 
 /// Balance a freshly built forest (the builder is invoked so that old and
@@ -68,6 +70,8 @@ RunResult run_balance(Builder&& build, int ranks, const BalanceOptions& opt) {
   r.modeled_time = comm.modeled_time();
   r.metrics = comm.metrics().snapshot();
   r.rounds = comm.rounds();
+  r.rounds_truncated = comm.rounds_truncated();
+  r.critical_path = comm.critical_path();
   const int k = opt.k == 0 ? D : opt.k;
   if (!forest_is_balanced(f.gather(), f.connectivity(), k)) {
     r.ok = false;
@@ -129,8 +133,15 @@ class BenchReport {
                   trace_path_.c_str());
     }
     if (json_path_.empty()) return;
-    write(json_path_);
-    std::printf("run report written to %s\n", json_path_.c_str());
+    const std::string doc = json();
+    if (std::FILE* f = std::fopen(json_path_.c_str(), "w")) {
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::printf("run report written to %s\n", json_path_.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write run report to '%s'\n",
+                   json_path_.c_str());
+    }
   }
 
   /// Record one balance run.  \p norm is the same normalization the
@@ -142,11 +153,13 @@ class BenchReport {
 
   bool all_ok() const { return all_ok_; }
 
- private:
-  void write(const std::string& path) const {
+  /// The complete run-report document (schema octbal-bench-report-v2).
+  /// Public so tests can round-trip the exact bytes through
+  /// obs::json_parse without touching the filesystem.
+  std::string json() const {
     obs::JsonWriter w;
     w.begin_object();
-    w.kv("schema", "octbal-bench-report-v1");
+    w.kv("schema", "octbal-bench-report-v2");
     w.kv("bench", bench_);
     w.kv("threads", par::num_threads());
     w.kv("ok", all_ok_);
@@ -171,18 +184,17 @@ class BenchReport {
       row.result.metrics.to_json(w);
       w.key("rounds");
       obs::rounds_json(w, row.result.rounds);
+      w.kv("rounds_truncated", row.result.rounds_truncated);
+      w.key("critical_path");
+      obs::critical_path_json(w, row.result.critical_path);
       w.end_object();
     }
     w.end_array();
     w.end_object();
-    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-      std::fwrite(w.str().data(), 1, w.str().size(), f);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "cannot write run report to '%s'\n", path.c_str());
-    }
+    return w.str();
   }
 
+ private:
   struct Row {
     std::string algo;
     double norm;

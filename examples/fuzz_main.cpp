@@ -6,7 +6,12 @@
 /// Usage:
 ///   fuzz_main [--seeds N] [--seed0 S] [--jobs T] [--tier full|large]
 ///             [--inject-bug N] [--no-shrink] [--shrink-evals N]
-///             [--max-failures N]
+///             [--max-failures N] [--json out.json]
+///
+/// --json writes a machine-readable sweep summary (schema
+/// octbal-fuzz-report-v1): seed range, per-seed verdicts, failing
+/// invariant ids, shrunk repro sizes and sources.  CI uploads it as an
+/// artifact next to the bench run reports.
 ///
 /// --tier large runs the oracle-free battery on ~10^5-octant cases with
 /// 64-192 simulated ranks (see src/audit/case.hpp).  --inject-bug N plants
@@ -83,5 +88,19 @@ int main(int argc, char** argv) {
     std::printf(" (stopped at --max-failures %d)", opt.max_failures);
   }
   std::printf("\n");
+
+  const std::string json_path = cli.get_string("json", "");
+  if (!json_path.empty()) {
+    const std::string doc = audit::fuzz_summary_json(opt, sum);
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::printf("fuzz report written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write fuzz report to '%s'\n",
+                   json_path.c_str());
+      return 2;
+    }
+  }
   return sum.ok() ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "audit/shrinker.hpp"
+#include "obs/json.hpp"
 #include "util/parallel.hpp"
 
 namespace octbal::audit {
@@ -47,15 +48,19 @@ FuzzSummary Fuzzer::run() const {
   std::atomic<int> cases{0};
 
   const auto run_seed = [&](std::uint64_t seed, bool allow_threads,
-                            std::vector<FuzzFailure>& out) {
+                            std::vector<FuzzFailure>& out,
+                            std::vector<SeedVerdict>& verdicts) {
     if (failed.load(std::memory_order_relaxed) >= opt_.max_failures) return;
     cases.fetch_add(1, std::memory_order_relaxed);
     CaseConfig cfg = random_case_config(seed, opt_.tier);
     cfg.opt.inject = opt_.inject;
     cfg.check_threads = allow_threads;
     FuzzFailure fl;
-    if (!run_case(cfg, &fl)) {
+    if (run_case(cfg, &fl)) {
+      verdicts.push_back({seed, true, "", 0});
+    } else {
       failed.fetch_add(1, std::memory_order_relaxed);
+      verdicts.push_back({seed, false, fl.invariant, fl.repro_octants});
       out.push_back(std::move(fl));
     }
   };
@@ -63,7 +68,8 @@ FuzzSummary Fuzzer::run() const {
   if (opt_.jobs <= 1) {
     std::vector<FuzzFailure> fl;
     for (int i = 0; i < n; ++i) {
-      run_seed(opt_.seed0 + static_cast<std::uint64_t>(i), true, fl);
+      run_seed(opt_.seed0 + static_cast<std::uint64_t>(i), true, fl,
+               sum.verdicts);
       if (failed.load(std::memory_order_relaxed) >= opt_.max_failures) break;
     }
     sum.failures = std::move(fl);
@@ -74,25 +80,77 @@ FuzzSummary Fuzzer::run() const {
     // global pool from inside a parallel region).
     const int jobs = std::min(opt_.jobs, std::max(1, n));
     std::vector<std::vector<FuzzFailure>> per(jobs);
+    std::vector<std::vector<SeedVerdict>> per_verdicts(jobs);
     const int saved = par::num_threads();
     par::set_num_threads(jobs);
     par::parallel_for_ranks(jobs, [&](int j) {
       for (int i = j; i < n; i += jobs) {
-        run_seed(opt_.seed0 + static_cast<std::uint64_t>(i), false, per[j]);
+        run_seed(opt_.seed0 + static_cast<std::uint64_t>(i), false, per[j],
+                 per_verdicts[j]);
       }
     });
     par::set_num_threads(saved);
     for (auto& v : per) {
       for (auto& f : v) sum.failures.push_back(std::move(f));
     }
+    for (auto& v : per_verdicts) {
+      for (auto& s : v) sum.verdicts.push_back(std::move(s));
+    }
     std::sort(sum.failures.begin(), sum.failures.end(),
               [](const FuzzFailure& a, const FuzzFailure& b) {
+                return a.seed < b.seed;
+              });
+    std::sort(sum.verdicts.begin(), sum.verdicts.end(),
+              [](const SeedVerdict& a, const SeedVerdict& b) {
                 return a.seed < b.seed;
               });
   }
   sum.cases_run = cases.load();
   sum.failed = failed.load();
   return sum;
+}
+
+std::string fuzz_summary_json(const FuzzOptions& opt,
+                              const FuzzSummary& sum) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "octbal-fuzz-report-v1");
+  w.kv("seed0", opt.seed0);
+  w.kv("seeds", opt.seeds);
+  w.kv("jobs", opt.jobs);
+  w.kv("tier", opt.tier == Tier::kLarge ? "large" : "full");
+  w.kv("inject", static_cast<int>(opt.inject));
+  w.kv("shrink", opt.shrink);
+  w.kv("max_failures", opt.max_failures);
+  w.kv("cases_run", sum.cases_run);
+  w.kv("failed", sum.failed);
+  w.kv("ok", sum.ok());
+  w.key("verdicts").begin_array();
+  for (const SeedVerdict& v : sum.verdicts) {
+    w.begin_object();
+    w.kv("seed", v.seed);
+    w.kv("ok", v.ok);
+    if (!v.ok) {
+      w.kv("invariant", v.invariant);
+      w.kv("repro_octants", static_cast<std::uint64_t>(v.repro_octants));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("failures").begin_array();
+  for (const FuzzFailure& f : sum.failures) {
+    w.begin_object();
+    w.kv("seed", f.seed);
+    w.kv("invariant", f.invariant);
+    w.kv("detail", f.detail);
+    w.kv("config", f.config);
+    w.kv("repro_octants", static_cast<std::uint64_t>(f.repro_octants));
+    w.kv("repro", f.repro);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace octbal::audit

@@ -34,12 +34,29 @@ struct FuzzFailure {
   std::size_t repro_octants = 0;  ///< leaves in the minimized input
 };
 
+/// Outcome of one fuzzed seed, for the machine-readable sweep summary.
+struct SeedVerdict {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::string invariant;          ///< failing invariant id ("" when ok)
+  std::size_t repro_octants = 0;  ///< shrunk repro size (0 when ok)
+};
+
 struct FuzzSummary {
   int cases_run = 0;
   int failed = 0;  ///< total failures seen (>= failures.size())
   std::vector<FuzzFailure> failures;
+  std::vector<SeedVerdict> verdicts;  ///< one per case run, in seed order
   bool ok() const { return failed == 0; }
 };
+
+/// The sweep summary as a self-contained JSON document (schema
+/// octbal-fuzz-report-v1): the seed range and options, per-seed verdicts,
+/// and every failure with its invariant id, shrunk size, and regression
+/// source.  `fuzz_main --json out.json` writes this; CI uploads it as an
+/// artifact next to the bench reports.
+std::string fuzz_summary_json(const FuzzOptions& opt,
+                              const FuzzSummary& sum);
 
 class Fuzzer {
  public:

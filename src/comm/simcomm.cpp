@@ -20,7 +20,20 @@ SimComm::SimComm(int nranks)
   c_bytes_sent_ = &metrics_->counter("comm/bytes_sent");
   c_msgs_recv_ = &metrics_->counter("comm/msgs_recv");
   c_bytes_recv_ = &metrics_->counter("comm/bytes_recv");
+  c_critical_rounds_ = &metrics_->counter("comm/critical_rounds");
+  c_rounds_ = &metrics_->scalar("comm/rounds");
   h_msg_bytes_ = &metrics_->histogram("comm/msg_bytes");
+}
+
+SimComm::PhaseCost& SimComm::phase_cost() {
+  for (auto& p : phases_) {
+    if (p.name == phase_) return p;
+  }
+  PhaseCost p;
+  p.name = phase_;
+  p.critical_by_rank.assign(static_cast<std::size_t>(size()), 0);
+  phases_.push_back(std::move(p));
+  return phases_.back();
 }
 
 void SimComm::send(int from, int to, std::vector<std::uint8_t> data) {
@@ -75,10 +88,46 @@ void SimComm::deliver() {
       round.entries.push_back(e);
     }
   }
-  if (record_rounds_) rounds_.push_back(std::move(round));
-  double worst = 0.0;
-  for (const auto& s : per_rank) worst = std::max(worst, model_.time(s));
+  // Critical-path attribution: the round's modeled time is the maximum
+  // per-rank α–β cost; the rank attaining it (lowest on ties, so the
+  // choice is deterministic) bounds the round, and everyone else's gap to
+  // it is slack.  All inputs are message/byte counts, so every value here
+  // is byte-identical for any thread count.
+  double worst = 0.0, sum = 0.0;
+  int critical = -1;
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    const double t = model_.time(per_rank[r]);
+    sum += t;
+    if (t > worst) {
+      worst = t;
+      critical = static_cast<int>(r);
+    }
+  }
+  const double mean = sum / static_cast<double>(per_rank.size());
   modeled_time_ += worst;
+  PhaseCost& pc = phase_cost();
+  pc.rounds += 1;
+  pc.time += worst;
+  pc.mean_time += mean;
+  pc.slack += worst * static_cast<double>(per_rank.size()) - sum;
+  if (critical >= 0) {
+    pc.critical_by_rank[static_cast<std::size_t>(critical)] += 1;
+    c_critical_rounds_->add(critical);
+  }
+  c_rounds_->add(0);
+  round.critical_rank = critical;
+  round.critical_time = worst;
+  round.mean_time = mean;
+  round.slack = worst * static_cast<double>(per_rank.size()) - sum;
+  round.phase = phase_;
+  if (record_rounds_) {
+    if (recorded_entries_ + round.entries.size() <= round_record_limit_) {
+      recorded_entries_ += round.entries.size();
+      rounds_.push_back(std::move(round));
+    } else {
+      rounds_truncated_ += 1;
+    }
+  }
   // Keep inboxes deterministic: order by sender, stable in post order —
   // or, with failure injection enabled, in a pseudo-random order (still
   // reproducible from the scramble seed).
@@ -128,14 +177,25 @@ void SimComm::charge_collective(std::size_t total_bytes) {
   metrics_->scalar("comm/collective_msgs").add(0, s.messages);
   metrics_->scalar("comm/collective_bytes").add(0, s.bytes);
   // Critical path: every rank receives the fully replicated payload over a
-  // logarithmic number of rounds.
-  if (p > 1) modeled_time_ += model_.time(CommStats{logp, total_bytes});
+  // logarithmic number of rounds.  Every rank pays the same cost, so a
+  // collective contributes no slack and no bounding rank.
+  if (p > 1) {
+    const double t = model_.time(CommStats{logp, total_bytes});
+    modeled_time_ += t;
+    PhaseCost& pc = phase_cost();
+    pc.collectives += 1;
+    pc.time += t;
+    pc.mean_time += t;
+  }
 }
 
 void SimComm::reset_stats() {
   stats_ = CommStats{};
   modeled_time_ = 0.0;
   rounds_.clear();
+  recorded_entries_ = 0;
+  rounds_truncated_ = 0;
+  phases_.clear();
   barrier_seconds_ = 0.0;
   // The metrics registry intentionally keeps accumulating: snapshots are
   // whole-run records, and benches that segment phases construct a fresh

@@ -126,16 +126,71 @@ class SimComm {
   struct Round {
     std::vector<RoundEntry> entries;
     CommStats total;  ///< sums over the entries
+    /// Critical-path attribution of this round (see critical_path()): the
+    /// rank whose α–β cost bounds the round (-1 when nothing moved; lowest
+    /// rank on ties), its modeled time, the mean over all ranks, and the
+    /// total slack Σ_r (critical_time - time_r).
+    std::int32_t critical_rank = -1;
+    double critical_time = 0;
+    double mean_time = 0;
+    double slack = 0;
+    std::string phase;  ///< phase label active when the round delivered
   };
 
   /// Per-round matrices since construction (or the last reset_stats()),
   /// one entry per deliver() call — empty rounds included, so indices
-  /// align with the pipeline's barrier structure.
+  /// align with the pipeline's barrier structure.  Recording stops (and
+  /// rounds_truncated() starts counting) once the cumulative edge budget
+  /// set by set_round_record_limit() is exhausted.
   const std::vector<Round>& rounds() const { return rounds_; }
 
   /// Matrices are recorded by default (they are small: one aggregated
   /// edge per communicating pair per round); disable for huge runs.
   void set_record_rounds(bool on) { record_rounds_ = on; }
+
+  /// Cap the cumulative number of recorded (from, to) edges across all
+  /// rounds (default 1M ≈ 24 MB worst case).  Rounds past the budget are
+  /// dropped from rounds() but still counted by rounds_truncated(), so
+  /// reports can say "N rounds not recorded" instead of lying by omission.
+  /// Critical-path aggregation (critical_path()) is unaffected by the cap.
+  void set_round_record_limit(std::size_t max_entries) {
+    round_record_limit_ = max_entries;
+  }
+
+  /// Number of deliver() rounds whose matrix was dropped by the record
+  /// limit (0 unless a long run exhausted the edge budget).
+  std::uint64_t rounds_truncated() const { return rounds_truncated_; }
+
+  /// Phase label attributed to subsequent deliver() rounds and collectives
+  /// in the critical-path accounting.  Engine-level: call from the
+  /// orchestrating thread only (the pipelines bracket their comm steps,
+  /// e.g. "balance/notify", and restore the previous label on exit).
+  void set_phase(std::string name) { phase_ = std::move(name); }
+  const std::string& phase() const { return phase_; }
+
+  /// Per-phase critical-path summary: for each phase label, the number of
+  /// rounds and collectives charged, the modeled wall clock (Σ per-round
+  /// critical-rank times + collective times), the Σ of per-round means,
+  /// the total slack, and how many rounds each rank bounded.  The sum of
+  /// time over phases equals modeled_time() (up to fp association), which
+  /// is what ties the profiler to the BalanceReport phase times.
+  struct PhaseCost {
+    std::string name;
+    std::uint64_t rounds = 0;       ///< deliver() barriers in this phase
+    std::uint64_t collectives = 0;  ///< collective charges in this phase
+    double time = 0;       ///< Σ critical-rank round times + collectives
+    double mean_time = 0;  ///< Σ mean-over-ranks round times + collectives
+    double slack = 0;      ///< Σ per-round total slack
+    std::vector<std::uint64_t> critical_by_rank;  ///< rounds bounded, per rank
+    /// Aggregate imbalance: modeled wall clock over the perfectly balanced
+    /// wall clock (max/mean convention, matching obs::Reduction).
+    double imbalance() const { return mean_time > 0 ? time / mean_time : 0; }
+  };
+
+  /// Phases in first-charge order.  Deterministic for any thread count:
+  /// phase labels are set from the orchestrating thread and every cost is
+  /// a pure function of the (normalized) message multiset.
+  const std::vector<PhaseCost>& critical_path() const { return phases_; }
 
   /// Wall-clock seconds this communicator has spent inside deliver()
   /// (the serial barrier work); pipelines subtract it from phase wall
@@ -176,6 +231,9 @@ class SimComm {
  private:
   void charge_collective(std::size_t total_bytes);
 
+  /// The phase aggregate for the current label, created on first charge.
+  PhaseCost& phase_cost();
+
   struct Pending {
     int from;
     int to;
@@ -194,12 +252,19 @@ class SimComm {
   std::unique_ptr<obs::Metrics> metrics_;
   std::vector<Round> rounds_;
   bool record_rounds_ = true;
+  std::size_t round_record_limit_ = 1u << 20;  ///< cumulative edge budget
+  std::size_t recorded_entries_ = 0;
+  std::uint64_t rounds_truncated_ = 0;
+  std::string phase_ = "run";
+  std::vector<PhaseCost> phases_;  ///< first-charge order
   double barrier_seconds_ = 0.0;
   // Cached registry entries for the delivery loop (lookup is mutexed).
   obs::Counter* c_msgs_sent_ = nullptr;
   obs::Counter* c_bytes_sent_ = nullptr;
   obs::Counter* c_msgs_recv_ = nullptr;
   obs::Counter* c_bytes_recv_ = nullptr;
+  obs::Counter* c_critical_rounds_ = nullptr;
+  obs::Counter* c_rounds_ = nullptr;
   obs::Histogram* h_msg_bytes_ = nullptr;
 };
 

@@ -112,6 +112,10 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   const CommStats stats0 = comm.stats();
   double modeled0 = comm.modeled_time();
   const double barrier0 = comm.barrier_seconds();
+  // Critical-path phase labels: every deliver()/collective below is
+  // attributed to the balance step that issued it; restored on exit so
+  // nested pipelines (ghost, nodes) keep their own attribution.
+  const std::string phase0 = comm.phase();
 
   // Registry entries are resolved before the parallel regions (the by-name
   // lookup takes a lock; per-rank add()s do not).
@@ -121,6 +125,8 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   obs::Counter& c_leaves = met.counter("balance/leaves_after");
   obs::Counter& c_owner_lookups = met.counter("balance/owner_lookups");
   obs::Counter& c_owner_cache = met.counter("balance/owner_cache_hits");
+  obs::Counter& c_owner_window = met.counter("balance/owner_window_scans");
+  obs::Counter& c_owner_full = met.counter("balance/owner_full_searches");
   obs::Counter& c_owner_cmp = met.counter("balance/owner_comparisons");
   obs::Histogram& h_queries_per_dest =
       met.histogram("balance/queries_per_dest");
@@ -294,6 +300,8 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
       rep.owner_scan += rank_owner[r];
       c_owner_lookups.add(r, rank_owner[r].lookups);
       c_owner_cache.add(r, rank_owner[r].cache_hits);
+      c_owner_window.add(r, rank_owner[r].window_scans);
+      c_owner_full.add(r, rank_owner[r].full_searches);
       c_owner_cmp.add(r, rank_owner[r].comparisons);
     }
     rep.t_query_response += reduce_secs();
@@ -313,6 +321,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
     // barriers inside the rounds is excluded from the phase's CPU share
     // (the α–β model already charges the communication).
     OBS_SPAN("notify");
+    comm.set_phase("balance/notify");
     const CommStats before = comm.stats();
     const double mbefore = comm.modeled_time();
     const double bbefore = comm.barrier_seconds();
@@ -350,6 +359,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   } else {
     {
       OBS_SPAN("notify");
+      comm.set_phase("balance/notify");
       const CommStats before = comm.stats();
       const double mbefore = comm.modeled_time();
       const double bbefore = comm.barrier_seconds();
@@ -369,6 +379,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
     // pack/unpack compute is attributed here.
     // ----------------------------------------------------------------
     OBS_SPAN("exchange_queries");
+    comm.set_phase("balance/queries");
     Timer t;
     par::parallel_for_ranks(P, [&](int r) {
       OBS_SPAN_RANK("post_queries", r);
@@ -401,6 +412,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   std::vector<std::vector<std::pair<int, std::vector<WirePair<D>>>>> rrecv(P);
   {
     OBS_SPAN("response");
+    comm.set_phase("balance/response");
     std::fill(rank_count.begin(), rank_count.end(), 0);
     par::parallel_for_ranks(P, [&](int r) {
       OBS_SPAN_RANK("response", r);
@@ -566,10 +578,24 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
     f.refresh_markers();
     rep.t_local_rebalance = reduce_secs();
   }
+  // Serial-balance hash/search counters (previously reachable only through
+  // BalanceReport in the perf-guard tests): per-rank obs counters, so they
+  // land in every --json run report and stay diffable by octbal_inspect.
+  obs::Counter& c_hash_queries = met.counter("balance/hash_queries");
+  obs::Counter& c_hash_probes = met.counter("balance/hash_probes");
+  obs::Counter& c_hash_rehash = met.counter("balance/hash_rehash_probes");
+  obs::Counter& c_bsearch = met.counter("balance/binary_searches");
+  obs::Counter& c_sorted = met.counter("balance/sorted_octants");
   for (int r = 0; r < P; ++r) {
     rep.subtree += rank_subtree[r];
     c_leaves.add(r, f.local(r).size());
+    c_hash_queries.add(r, rank_subtree[r].hash_queries);
+    c_hash_probes.add(r, rank_subtree[r].hash_probes);
+    c_hash_rehash.add(r, rank_subtree[r].hash_rehash_probes);
+    c_bsearch.add(r, rank_subtree[r].binary_searches);
+    c_sorted.add(r, rank_subtree[r].sorted_octants);
   }
+  comm.set_phase(phase0);
 
   rep.comm.messages = comm.stats().messages - stats0.messages -
                       rep.notify_comm.messages;

@@ -60,6 +60,8 @@ void Forest<D>::set_all(std::vector<TreeOct<D>> all,
   assert(static_cast<int>(counts.size()) == p);
   // Charge items that change owners to the communicator, if requested.
   if (comm != nullptr) {
+    const std::string phase0 = comm->phase();
+    comm->set_phase("partition");
     std::vector<int> old_owner(all.size());
     std::size_t idx = 0;
     for (int r = 0; r < p; ++r) {
@@ -83,6 +85,7 @@ void Forest<D>::set_all(std::vector<TreeOct<D>> all,
     }
     comm->deliver();
     for (int r = 0; r < p; ++r) comm->recv_all(r);
+    comm->set_phase(phase0);
   }
 
   std::size_t idx = 0;

@@ -50,10 +50,16 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
   const auto& conn = f.connectivity();
   GhostLayer<D> ghost;
   ghost.per_rank.resize(P);
+  const std::string phase0 = comm.phase();
 
   obs::Metrics& met = comm.metrics();
   obs::Counter& c_candidates = met.counter("ghost/candidates_sent");
   obs::Counter& c_entries = met.counter("ghost/entries");
+  obs::Counter& c_owner_lookups = met.counter("ghost/owner_lookups");
+  obs::Counter& c_owner_cache = met.counter("ghost/owner_cache_hits");
+  obs::Counter& c_owner_window = met.counter("ghost/owner_window_scans");
+  obs::Counter& c_owner_full = met.counter("ghost/owner_full_searches");
+  obs::Counter& c_owner_cmp = met.counter("ghost/owner_comparisons");
 
   // Sender side: my leaf o is a (conservative) ghost candidate for every
   // rank owning part of a same-size neighbor piece of o.  Owner resolution
@@ -146,10 +152,18 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
       }
     }
   });
-  for (int r = 0; r < P; ++r) ghost.owner_scan += rank_owner[r];
+  for (int r = 0; r < P; ++r) {
+    ghost.owner_scan += rank_owner[r];
+    c_owner_lookups.add(r, rank_owner[r].lookups);
+    c_owner_cache.add(r, rank_owner[r].cache_hits);
+    c_owner_window.add(r, rank_owner[r].window_scans);
+    c_owner_full.add(r, rank_owner[r].full_searches);
+    c_owner_cmp.add(r, rank_owner[r].comparisons);
+  }
 
   // The pattern reversal does its own exchanges; attribute them to the
   // ghost build instead of dropping them on the floor.
+  comm.set_phase("ghost/notify");
   const CommStats notify0 = comm.stats();
   (void)notify(notify_algo, comm, receivers);
   ghost.notify_traffic.messages = comm.stats().messages - notify0.messages;
@@ -157,6 +171,7 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
   met.scalar("ghost/notify_msgs").add(0, ghost.notify_traffic.messages);
   met.scalar("ghost/notify_bytes").add(0, ghost.notify_traffic.bytes);
 
+  comm.set_phase("ghost/exchange");
   const CommStats pre = comm.stats();
   par::parallel_for_ranks(P, [&](int r) {
     for (int q = 0; q < P; ++q) {
@@ -190,6 +205,7 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
   });
   ghost.traffic.messages = comm.stats().messages - pre.messages;
   ghost.traffic.bytes = comm.stats().bytes - pre.bytes;
+  comm.set_phase(phase0);
   return ghost;
 }
 

@@ -336,6 +336,8 @@ NodeOwnership assign_node_owners(const Forest<D>& f, const NodeNumbering& nn,
   // co-touching rank (how a distributed DOF numbering distributes the
   // owner's global indices).  Flows through the simulated communicator so
   // every message and byte lands in the stats and the metrics registry.
+  const std::string phase0 = comm.phase();
+  comm.set_phase("nodes/owner_sync");
   const CommStats pre = comm.stats();
   obs::Counter& c_shared = comm.metrics().counter("nodes/shared_ids_sent");
   par::parallel_for_ranks(P, [&](int r) {
@@ -364,6 +366,7 @@ NodeOwnership assign_node_owners(const Forest<D>& f, const NodeNumbering& nn,
   }
   obs::Counter& c_recv = comm.metrics().counter("nodes/shared_ids_recv");
   for (int r = 0; r < P; ++r) c_recv.add(r, shared_per_rank[r]);
+  comm.set_phase(phase0);
   return no;
 }
 

@@ -1,0 +1,563 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace octbal::obs {
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::string render_value(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kString: return v.str;
+    case JsonValue::Kind::kNumber:
+      if (v.is_integer()) {
+        return fmt("%lld", static_cast<long long>(v.num));
+      }
+      return fmt("%.17g", v.num);
+    default: return "<composite>";
+  }
+}
+
+bool is_bench_report(const JsonValue& v) {
+  return v.is_object() &&
+         v.string_or("schema", "").rfind("octbal-bench-report-", 0) == 0;
+}
+
+/// The canonical phase-column order of Figures 15/17 and Table III.
+constexpr const char* kPhaseKeys[] = {"local_balance", "notify",
+                                      "query_response", "local_rebalance",
+                                      "total", "barrier"};
+
+/// Walks both trees field-by-field, recording mismatches.  Exact fields
+/// are the machine-independent contract; timing fields are tol-gated.
+class Differ {
+ public:
+  Differ(DiffResult& out, double tol) : out_(out), tol_(tol) {}
+
+  void exact(const std::string& path, const JsonValue* a,
+             const JsonValue* b) {
+    if (!a || !b) return;  // schema evolution: one-sided fields are fine
+    out_.exact_checked += 1;
+    const bool same =
+        a->kind == b->kind &&
+        (!a->is_number() || a->num == b->num) &&
+        (!a->is_string() || a->str == b->str) &&
+        (!a->is_bool() || a->boolean == b->boolean);
+    if (!same) {
+      out_.mismatches.push_back(
+          {path, render_value(*a), render_value(*b), false});
+    }
+  }
+
+  void exact_member(const std::string& path, const JsonValue& a,
+                    const JsonValue& b, const char* key) {
+    exact(path + "." + key, a.find(key), b.find(key));
+  }
+
+  /// Every key the two objects share, compared exactly (scalar members).
+  void exact_intersection(const std::string& path, const JsonValue* a,
+                          const JsonValue* b) {
+    if (!a || !b || !a->is_object() || !b->is_object()) return;
+    for (const auto& [key, av] : a->obj) {
+      if (const JsonValue* bv = b->find(key)) exact(path + "." + key, &av, bv);
+    }
+  }
+
+  /// Union-of-keys compare where a missing member means 0 (sparse
+  /// histogram buckets, critical-rank histograms).
+  void exact_sparse_union(const std::string& path, const JsonValue* a,
+                          const JsonValue* b) {
+    if (!a || !b || !a->is_object() || !b->is_object()) return;
+    std::set<std::string> keys;
+    for (const auto& [k, v] : a->obj) keys.insert(k);
+    for (const auto& [k, v] : b->obj) keys.insert(k);
+    for (const std::string& k : keys) {
+      const JsonValue* av = a->find(k);
+      const JsonValue* bv = b->find(k);
+      out_.exact_checked += 1;
+      const double x = av ? av->num : 0.0;
+      const double y = bv ? bv->num : 0.0;
+      if (x != y) {
+        out_.mismatches.push_back({path + "." + k, fmt("%.17g", x),
+                                   fmt("%.17g", y), false});
+      }
+    }
+  }
+
+  void exact_array(const std::string& path, const JsonValue* a,
+                   const JsonValue* b) {
+    if (!a || !b || !a->is_array() || !b->is_array()) return;
+    if (a->arr.size() != b->arr.size()) {
+      out_.exact_checked += 1;
+      out_.mismatches.push_back({path + ".length",
+                                 std::to_string(a->arr.size()),
+                                 std::to_string(b->arr.size()), false});
+      return;
+    }
+    for (std::size_t i = 0; i < a->arr.size(); ++i) {
+      const std::string p = path + "[" + std::to_string(i) + "]";
+      if (a->arr[i].is_array()) {
+        exact_array(p, &a->arr[i], &b->arr[i]);
+      } else {
+        exact(p, &a->arr[i], &b->arr[i]);
+      }
+    }
+  }
+
+  void timing(const std::string& path, const JsonValue* a,
+              const JsonValue* b) {
+    if (!a || !b || !a->is_number() || !b->is_number()) return;
+    if (tol_ < 0) {
+      out_.timing_skipped += 1;
+      return;
+    }
+    const double x = a->num, y = b->num;
+    // Sub-0.1ms readings are dominated by scheduler jitter; comparing them
+    // under any sane tolerance only produces noise.
+    if (std::abs(x) < 1e-4 && std::abs(y) < 1e-4) {
+      out_.timing_skipped += 1;
+      return;
+    }
+    out_.timing_checked += 1;
+    const double rel =
+        std::abs(x - y) / std::max(std::abs(x), std::abs(y));
+    if (rel > tol_) {
+      out_.mismatches.push_back(
+          {path, fmt("%.6g", x), fmt("%.6g", y), true});
+    }
+  }
+
+  void timing_member(const std::string& path, const JsonValue& a,
+                     const JsonValue& b, const char* key) {
+    timing(path + "." + key, a.find(key), b.find(key));
+  }
+
+  void mismatch(const std::string& path, std::string base,
+                std::string fresh) {
+    out_.exact_checked += 1;
+    out_.mismatches.push_back(
+        {path, std::move(base), std::move(fresh), false});
+  }
+
+ private:
+  DiffResult& out_;
+  double tol_;
+};
+
+void diff_metrics(Differ& d, const std::string& path, const JsonValue* a,
+                  const JsonValue* b) {
+  if (!a || !b) return;
+  const JsonValue* ac = a->find("counters");
+  const JsonValue* bc = b->find("counters");
+  if (ac && bc && ac->is_object()) {
+    for (const auto& [name, av] : ac->obj) {
+      const JsonValue* bv = bc->find(name);
+      if (!bv) continue;
+      const std::string p = path + ".counters." + name;
+      d.exact(p + ".total", av.find("total"), bv->find("total"));
+      d.exact_array(p + ".per_rank", av.find("per_rank"),
+                    bv->find("per_rank"));
+    }
+  }
+  const JsonValue* ah = a->find("histograms");
+  const JsonValue* bh = b->find("histograms");
+  if (ah && bh && ah->is_object()) {
+    for (const auto& [name, av] : ah->obj) {
+      const JsonValue* bv = bh->find(name);
+      if (!bv) continue;
+      const std::string p = path + ".histograms." + name;
+      for (const char* key : {"count", "sum", "min", "max"}) {
+        d.exact(p + "." + key, av.find(key), bv->find(key));
+      }
+      d.exact_sparse_union(p + ".log2_buckets", av.find("log2_buckets"),
+                           bv->find("log2_buckets"));
+    }
+  }
+}
+
+void diff_rounds(Differ& d, const std::string& path, const JsonValue* a,
+                 const JsonValue* b) {
+  if (!a || !b || !a->is_array() || !b->is_array()) return;
+  if (a->arr.size() != b->arr.size()) {
+    d.mismatch(path + ".length", std::to_string(a->arr.size()),
+               std::to_string(b->arr.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < a->arr.size(); ++i) {
+    const std::string p = path + "[" + std::to_string(i) + "]";
+    d.exact_member(p, a->arr[i], b->arr[i], "messages");
+    d.exact_member(p, a->arr[i], b->arr[i], "bytes");
+    d.exact_array(p + ".edges", a->arr[i].find("edges"),
+                  b->arr[i].find("edges"));
+  }
+}
+
+void diff_critical_path(Differ& d, const std::string& path,
+                        const JsonValue* a, const JsonValue* b) {
+  if (!a || !b || !a->is_array() || !b->is_array()) return;
+  if (a->arr.size() != b->arr.size()) {
+    d.mismatch(path + ".length", std::to_string(a->arr.size()),
+               std::to_string(b->arr.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < a->arr.size(); ++i) {
+    const std::string p = path + "[" + std::to_string(i) + "]";
+    const JsonValue& av = a->arr[i];
+    const JsonValue& bv = b->arr[i];
+    d.exact_member(p, av, bv, "phase");
+    d.exact_member(p, av, bv, "rounds");
+    d.exact_member(p, av, bv, "collectives");
+    d.exact_sparse_union(p + ".critical_by_rank",
+                         av.find("critical_by_rank"),
+                         bv.find("critical_by_rank"));
+    d.timing_member(p, av, bv, "time");
+    d.timing_member(p, av, bv, "mean_time");
+    d.timing_member(p, av, bv, "slack");
+  }
+}
+
+void diff_run(Differ& d, const std::string& path, const JsonValue& a,
+              const JsonValue& b) {
+  // Identity first: a pairing mismatch makes field diffs meaningless.
+  if (a.string_or("algo", "") != b.string_or("algo", "") ||
+      a.uint_or("ranks", 0) != b.uint_or("ranks", 0)) {
+    d.exact_member(path, a, b, "algo");
+    d.exact_member(path, a, b, "ranks");
+    return;
+  }
+  d.exact_member(path, a, b, "ok");
+  d.exact_member(path, a, b, "norm");
+  for (const char* key : {"octants_before", "octants_after", "queries_sent",
+                          "response_items", "rounds_truncated"}) {
+    d.exact(path + "." + key, a.find(key), b.find(key));
+  }
+  d.exact_intersection(path + ".comm", a.find("comm"), b.find("comm"));
+  d.exact_intersection(path + ".subtree", a.find("subtree"),
+                       b.find("subtree"));
+  d.exact_intersection(path + ".owner_scan", a.find("owner_scan"),
+                       b.find("owner_scan"));
+  diff_metrics(d, path + ".metrics", a.find("metrics"), b.find("metrics"));
+  diff_rounds(d, path + ".rounds", a.find("rounds"), b.find("rounds"));
+  diff_critical_path(d, path + ".critical_path", a.find("critical_path"),
+                     b.find("critical_path"));
+  const JsonValue* ap = a.find("phases");
+  const JsonValue* bp = b.find("phases");
+  if (ap && bp) {
+    for (const char* key : kPhaseKeys) {
+      d.timing(path + ".phases." + key, ap->find(key), bp->find(key));
+    }
+  }
+  d.timing_member(path, a, b, "modeled_time");
+}
+
+}  // namespace
+
+const JsonValue* bench_report_section(const JsonValue& doc,
+                                      std::string* err) {
+  if (is_bench_report(doc)) return &doc;
+  if (doc.is_object()) {
+    for (const auto& [key, v] : doc.obj) {
+      if (is_bench_report(v)) return &v;
+    }
+  }
+  if (err) {
+    *err = "document is neither an octbal-bench-report-v* file nor a "
+           "baseline wrapper containing one";
+  }
+  return nullptr;
+}
+
+const JsonValue* google_benchmark_section(const JsonValue& doc) {
+  if (doc.find("benchmarks") && doc.find("benchmarks")->is_array())
+    return &doc;
+  if (doc.is_object()) {
+    for (const auto& [key, v] : doc.obj) {
+      const JsonValue* b = v.find("benchmarks");
+      if (b && b->is_array()) return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<CommEdge> top_talkers(const JsonValue& run, std::size_t n) {
+  std::map<std::pair<int, int>, CommEdge> agg;
+  const JsonValue* rounds = run.find("rounds");
+  if (rounds && rounds->is_array()) {
+    for (const JsonValue& round : rounds->arr) {
+      const JsonValue* edges = round.find("edges");
+      if (!edges || !edges->is_array()) continue;
+      for (const JsonValue& e : edges->arr) {
+        if (!e.is_array() || e.arr.size() != 4) continue;
+        const int from = static_cast<int>(e.arr[0].num);
+        const int to = static_cast<int>(e.arr[1].num);
+        CommEdge& out = agg[{from, to}];
+        out.from = from;
+        out.to = to;
+        out.messages += e.arr[2].as_uint();
+        out.bytes += e.arr[3].as_uint();
+      }
+    }
+  }
+  std::vector<CommEdge> edges;
+  edges.reserve(agg.size());
+  for (const auto& [key, e] : agg) edges.push_back(e);
+  std::sort(edges.begin(), edges.end(),
+            [](const CommEdge& a, const CommEdge& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              if (a.messages != b.messages) return a.messages > b.messages;
+              return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+            });
+  if (edges.size() > n) edges.resize(n);
+  return edges;
+}
+
+std::string render_report(const JsonValue& doc, std::string* err) {
+  const JsonValue* rep = bench_report_section(doc, err);
+  if (!rep) return "";
+  std::string out;
+  out += fmt("bench %s  (schema %s, threads %llu, %s)\n",
+             rep->string_or("bench", "?").c_str(),
+             rep->string_or("schema", "?").c_str(),
+             static_cast<unsigned long long>(rep->uint_or("threads", 0)),
+             rep->bool_or("ok", false) ? "ok" : "FAILED");
+  if (const JsonValue* cfg = rep->find("config")) {
+    out += "config:";
+    if (cfg->obj.empty()) out += " (defaults)";
+    for (const auto& [k, v] : cfg->obj) {
+      out += " " + k + (v.str.empty() ? "" : "=" + v.str);
+    }
+    out += "\n";
+  }
+  if (const JsonValue* cm = rep->find("cost_model")) {
+    out += fmt("cost model: alpha=%g s/msg, beta=%g s/byte\n",
+               cm->number_or("alpha", 0), cm->number_or("beta", 0));
+  }
+  const JsonValue* runs = rep->find("runs");
+  if (!runs || !runs->is_array()) return out;
+  out += fmt("\n%6s %10s %7s | %9s %9s %9s %9s %9s | %s\n", "ranks",
+             "octants", "algo", "local", "notify", "qry+resp", "rebal",
+             "TOTAL", "traffic");
+  for (const JsonValue& run : runs->arr) {
+    const JsonValue* ph = run.find("phases");
+    const JsonValue* comm = run.find("comm");
+    out += fmt(
+        "%6llu %10llu %7s | %9.4f %9.4f %9.4f %9.4f %9.4f | msgs=%llu "
+        "bytes=%llu%s\n",
+        static_cast<unsigned long long>(run.uint_or("ranks", 0)),
+        static_cast<unsigned long long>(run.uint_or("octants_after", 0)),
+        run.string_or("algo", "?").c_str(),
+        ph ? ph->number_or("local_balance", 0) : 0,
+        ph ? ph->number_or("notify", 0) : 0,
+        ph ? ph->number_or("query_response", 0) : 0,
+        ph ? ph->number_or("local_rebalance", 0) : 0,
+        ph ? ph->number_or("total", 0) : 0,
+        static_cast<unsigned long long>(
+            comm ? comm->uint_or("messages", 0) +
+                       comm->uint_or("notify_messages", 0)
+                 : 0),
+        static_cast<unsigned long long>(
+            comm ? comm->uint_or("bytes", 0) + comm->uint_or("notify_bytes", 0)
+                 : 0),
+        run.bool_or("ok", true) ? "" : "  ** FAILED **");
+  }
+  // Per-run detail: octant growth, modeled time, heaviest edges.
+  for (std::size_t i = 0; i < runs->arr.size(); ++i) {
+    const JsonValue& run = runs->arr[i];
+    out += fmt("\nrun[%zu] algo=%s ranks=%llu: octants %llu -> %llu, "
+               "queries %llu, response items %llu, modeled %.3g s",
+               i, run.string_or("algo", "?").c_str(),
+               static_cast<unsigned long long>(run.uint_or("ranks", 0)),
+               static_cast<unsigned long long>(run.uint_or("octants_before",
+                                                           0)),
+               static_cast<unsigned long long>(run.uint_or("octants_after",
+                                                           0)),
+               static_cast<unsigned long long>(run.uint_or("queries_sent",
+                                                           0)),
+               static_cast<unsigned long long>(run.uint_or("response_items",
+                                                           0)),
+               run.number_or("modeled_time", 0));
+    if (const std::uint64_t t = run.uint_or("rounds_truncated", 0)) {
+      out += fmt(" (%llu rounds not recorded)",
+                 static_cast<unsigned long long>(t));
+    }
+    out += "\n";
+    const auto talkers = top_talkers(run, 5);
+    if (!talkers.empty()) {
+      out += "  top talkers:";
+      for (const CommEdge& e : talkers) {
+        out += fmt(" %d->%d (%llu msgs, %llu B)", e.from, e.to,
+                   static_cast<unsigned long long>(e.messages),
+                   static_cast<unsigned long long>(e.bytes));
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string render_critical_path(const JsonValue& doc, std::string* err) {
+  const JsonValue* rep = bench_report_section(doc, err);
+  if (!rep) return "";
+  const JsonValue* runs = rep->find("runs");
+  if (!runs || !runs->is_array()) {
+    if (err) *err = "report has no runs array";
+    return "";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < runs->arr.size(); ++i) {
+    const JsonValue& run = runs->arr[i];
+    out += fmt("run[%zu] algo=%s ranks=%llu\n", i,
+               run.string_or("algo", "?").c_str(),
+               static_cast<unsigned long long>(run.uint_or("ranks", 0)));
+    const JsonValue* cp = run.find("critical_path");
+    if (!cp || !cp->is_array() || cp->arr.empty()) {
+      out += "  (no critical-path data: report predates "
+             "octbal-bench-report-v2)\n";
+      continue;
+    }
+    out += fmt("  %-18s %6s %5s %11s %11s %7s %11s  %s\n", "phase", "rounds",
+               "coll", "time", "mean", "imbal", "slack", "bounded by");
+    double sum = 0;
+    for (const JsonValue& ph : cp->arr) {
+      const double time = ph.number_or("time", 0);
+      const double mean = ph.number_or("mean_time", 0);
+      sum += time;
+      std::string bounded;
+      if (const JsonValue* hist = ph.find("critical_by_rank")) {
+        // Top three bounding ranks, by rounds bounded.
+        std::vector<std::pair<std::uint64_t, int>> top;
+        for (const auto& [rank, count] : hist->obj) {
+          top.push_back({count.as_uint(), std::atoi(rank.c_str())});
+        }
+        std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+          return a.first != b.first ? a.first > b.first : a.second < b.second;
+        });
+        for (std::size_t t = 0; t < top.size() && t < 3; ++t) {
+          bounded += fmt("%sr%d x%llu", t ? ", " : "", top[t].second,
+                         static_cast<unsigned long long>(top[t].first));
+        }
+      }
+      out += fmt("  %-18s %6llu %5llu %11.4g %11.4g %7.2f %11.4g  %s\n",
+                 ph.string_or("phase", "?").c_str(),
+                 static_cast<unsigned long long>(ph.uint_or("rounds", 0)),
+                 static_cast<unsigned long long>(ph.uint_or("collectives",
+                                                            0)),
+                 time, mean, mean > 0 ? time / mean : 0.0,
+                 ph.number_or("slack", 0), bounded.c_str());
+    }
+    const double modeled = run.number_or("modeled_time", 0);
+    out += fmt("  modeled time %.6g s; phase sum %.6g s (delta %.2g)\n",
+               modeled, sum, modeled - sum);
+  }
+  return out;
+}
+
+bool diff_reports(const JsonValue& base, const JsonValue& fresh, double tol,
+                  DiffResult& out, std::string* err) {
+  // Google-benchmark documents: the benchmark *set* is the contract
+  // (wall-clock values never are) — the ordered name lists must match.
+  if (fresh.find("benchmarks")) {
+    const JsonValue* fb = google_benchmark_section(fresh);
+    const JsonValue* bb = google_benchmark_section(base);
+    if (!fb || !bb) {
+      if (err) *err = "no google-benchmark section to compare against";
+      return false;
+    }
+    const auto& ba = bb->find("benchmarks")->arr;
+    const auto& fa = fb->find("benchmarks")->arr;
+    const std::size_t n = std::max(ba.size(), fa.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string path = "benchmarks[" + std::to_string(i) + "].name";
+      const std::string want =
+          i < ba.size() ? ba[i].string_or("name", "?") : "<missing>";
+      const std::string got =
+          i < fa.size() ? fa[i].string_or("name", "?") : "<missing>";
+      out.exact_checked += 1;
+      if (want != got) out.mismatches.push_back({path, want, got, false});
+    }
+    return true;
+  }
+
+  const JsonValue* b = bench_report_section(base, err);
+  const JsonValue* f = bench_report_section(fresh, err);
+  if (!b || !f) return false;
+  Differ d(out, tol);
+  d.exact_member("", *b, *f, "bench");
+  d.exact_member("", *b, *f, "ok");
+  d.exact_intersection(".config", b->find("config"), f->find("config"));
+  d.exact_intersection(".cost_model", b->find("cost_model"),
+                       f->find("cost_model"));
+  const JsonValue* br = b->find("runs");
+  const JsonValue* fr = f->find("runs");
+  if (!br || !fr || !br->is_array() || !fr->is_array()) {
+    if (err) *err = "report has no runs array";
+    return false;
+  }
+  if (br->arr.size() != fr->arr.size()) {
+    out.mismatches.push_back({"runs.length", std::to_string(br->arr.size()),
+                              std::to_string(fr->arr.size()), false});
+    return true;
+  }
+  for (std::size_t i = 0; i < br->arr.size(); ++i) {
+    diff_run(d, "runs[" + std::to_string(i) + "]", br->arr[i], fr->arr[i]);
+  }
+  return true;
+}
+
+std::string render_diff(const DiffResult& d, double tol) {
+  std::string out;
+  for (const DiffEntry& e : d.mismatches) {
+    out += fmt("MISMATCH %s: baseline %s, fresh %s%s\n", e.path.c_str(),
+               e.base.c_str(), e.fresh.c_str(),
+               e.timing ? fmt(" (timing, tol %g)", tol).c_str() : "");
+  }
+  out += fmt("diff: %zu mismatch(es); %llu exact field(s) compared, %llu "
+             "timing field(s) %s\n",
+             d.mismatches.size(),
+             static_cast<unsigned long long>(d.exact_checked),
+             static_cast<unsigned long long>(tol >= 0 ? d.timing_checked
+                                                      : d.timing_skipped),
+             tol >= 0 ? "compared" : "skipped (pass --tol to enforce)");
+  return out;
+}
+
+std::string diff_json(const DiffResult& d, double tol) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "octbal-inspect-diff-v1");
+  w.kv("ok", d.ok());
+  w.kv("tol", tol);
+  w.kv("exact_checked", d.exact_checked);
+  w.kv("timing_checked", d.timing_checked);
+  w.kv("timing_skipped", d.timing_skipped);
+  w.key("mismatches").begin_array();
+  for (const DiffEntry& e : d.mismatches) {
+    w.begin_object();
+    w.kv("path", e.path);
+    w.kv("base", e.base);
+    w.kv("fresh", e.fresh);
+    w.kv("timing", e.timing);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace octbal::obs

@@ -1,0 +1,83 @@
+#pragma once
+/// \file analysis.hpp
+/// \brief Loaders and analyzers for `octbal-bench-report-v*` run reports:
+/// phase-breakdown tables (paper Table III / Fig. 13 style), per-phase
+/// critical-path attribution, top-talker communication edges, and a
+/// structured diff of two reports.  This is the read side of the
+/// observability stack; obs/report.hpp + bench/harness.hpp are the write
+/// side, and examples/octbal_inspect.cpp is the CLI over this library.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.hpp"
+
+namespace octbal::obs {
+
+/// Resolve the bench-report object inside \p doc: the document itself for
+/// schema `octbal-bench-report-v1`/`-v2`, or the (unique) member holding a
+/// bench report for the `octbal-bench-baseline-v1` wrapper that
+/// BENCH_baseline.json uses.  Returns nullptr (and sets \p err) when the
+/// document is neither.
+const JsonValue* bench_report_section(const JsonValue& doc, std::string* err);
+
+/// Resolve a google-benchmark results object ("benchmarks" array), either
+/// the document itself or the baseline wrapper's `core_ops` member.
+const JsonValue* google_benchmark_section(const JsonValue& doc);
+
+/// One aggregated communication edge over all recorded rounds of a run.
+struct CommEdge {
+  int from = 0;
+  int to = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The heaviest (by bytes, then messages) sender→receiver edges of one
+/// run's recorded round matrices.
+std::vector<CommEdge> top_talkers(const JsonValue& run, std::size_t n);
+
+/// Pretty text for `octbal_inspect report`: header, per-run phase
+/// breakdown, traffic, counters of note, and top talkers.
+std::string render_report(const JsonValue& doc, std::string* err);
+
+/// Pretty text for `octbal_inspect critpath`: the per-phase critical-path
+/// attribution of every run, with the bounding-rank histogram and the
+/// reconciliation against the run's modeled time.
+std::string render_critical_path(const JsonValue& doc, std::string* err);
+
+/// One field-level difference between two reports.
+struct DiffEntry {
+  std::string path;   ///< e.g. "runs[2].comm.bytes"
+  std::string base;   ///< rendered baseline value
+  std::string fresh;  ///< rendered fresh value
+  bool timing = false;  ///< compared under the relative tolerance
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> mismatches;
+  std::uint64_t exact_checked = 0;   ///< machine-independent fields compared
+  std::uint64_t timing_checked = 0;  ///< timing fields compared under tol
+  std::uint64_t timing_skipped = 0;  ///< timing fields skipped (tol < 0)
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Structured report diff.  Machine-independent fields (counters, traffic,
+/// octant/query totals, per-rank metric slots, round matrices, the
+/// critical-rank histogram) are compared exactly; timing fields (phase
+/// seconds, modeled times, slack) only when \p tol >= 0, with relative
+/// tolerance \p tol and an absolute jitter floor of 1e-4 s below which
+/// wall-clock noise dominates and the comparison is skipped.  Fields
+/// present on only one side (schema evolution) are ignored.  Also accepts
+/// two google-benchmark documents, in which case the ordered benchmark
+/// name lists must match.  Returns false and sets \p err when the inputs
+/// cannot be paired at all.
+bool diff_reports(const JsonValue& base, const JsonValue& fresh, double tol,
+                  DiffResult& out, std::string* err);
+
+/// Render a DiffResult for humans (one line per mismatch) or as JSON.
+std::string render_diff(const DiffResult& d, double tol);
+std::string diff_json(const DiffResult& d, double tol);
+
+}  // namespace octbal::obs

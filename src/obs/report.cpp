@@ -24,9 +24,17 @@ void balance_report_json(JsonWriter& w, const BalanceReport& rep) {
   w.key("subtree").begin_object();
   w.kv("hash_queries", rep.subtree.hash_queries);
   w.kv("hash_probes", rep.subtree.hash_probes);
+  w.kv("hash_rehash_probes", rep.subtree.hash_rehash_probes);
   w.kv("binary_searches", rep.subtree.binary_searches);
   w.kv("sorted_octants", rep.subtree.sorted_octants);
   w.kv("output_octants", rep.subtree.output_octants);
+  w.end_object();
+  w.key("owner_scan").begin_object();
+  w.kv("lookups", rep.owner_scan.lookups);
+  w.kv("cache_hits", rep.owner_scan.cache_hits);
+  w.kv("window_scans", rep.owner_scan.window_scans);
+  w.kv("full_searches", rep.owner_scan.full_searches);
+  w.kv("comparisons", rep.owner_scan.comparisons);
   w.end_object();
 }
 
@@ -43,6 +51,29 @@ void rounds_json(JsonWriter& w, const std::vector<SimComm::Round>& rounds) {
       w.end_array();
     }
     w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void critical_path_json(JsonWriter& w,
+                        const std::vector<SimComm::PhaseCost>& phases) {
+  w.begin_array();
+  for (const auto& ph : phases) {
+    w.begin_object();
+    w.kv("phase", ph.name);
+    w.kv("rounds", ph.rounds);
+    w.kv("collectives", ph.collectives);
+    w.kv("time", ph.time);
+    w.kv("mean_time", ph.mean_time);
+    w.kv("slack", ph.slack);
+    w.key("critical_by_rank").begin_object();
+    for (std::size_t r = 0; r < ph.critical_by_rank.size(); ++r) {
+      if (ph.critical_by_rank[r] > 0) {
+        w.kv(std::to_string(r), ph.critical_by_rank[r]);
+      }
+    }
+    w.end_object();
     w.end_object();
   }
   w.end_array();

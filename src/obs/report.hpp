@@ -22,6 +22,12 @@ void balance_report_json(JsonWriter& w, const BalanceReport& rep);
 /// edges.  Writes the value only — call w.key("rounds") first.
 void rounds_json(JsonWriter& w, const std::vector<SimComm::Round>& rounds);
 
+/// Emit the per-phase critical-path aggregation (rounds, bounding-rank
+/// histogram, modeled time / mean / slack).  Writes the value only — call
+/// w.key("critical_path") first.
+void critical_path_json(JsonWriter& w,
+                        const std::vector<SimComm::PhaseCost>& phases);
+
 /// Build the diagnostic report for a run whose result failed validation
 /// (e.g. an unbalanced forest): one self-contained JSON object with the
 /// error, the configuration, the per-phase report and the metric

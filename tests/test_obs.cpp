@@ -16,6 +16,7 @@
 #include "forest/ghost.hpp"
 #include "forest/nodes.hpp"
 #include "obs/json.hpp"
+#include "obs/json_parse.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -126,137 +127,8 @@ TEST(Trace, DisabledSpanOverheadIsTiny) {
 }
 
 // ---------------------------------------------------- trace JSON schema --
-
-/// A miniature JSON DOM, just rich enough to validate the trace file
-/// against the Chrome trace_event schema.
-struct JV {
-  char kind = '?';  // o, a, s, n, b, z
-  std::string str;
-  double num = 0;
-  std::map<std::string, JV> obj;
-  std::vector<JV> arr;
-};
-
-class MiniJsonParser {
- public:
-  explicit MiniJsonParser(const std::string& s) : s_(s) {}
-
-  bool parse(JV& out) {
-    skip();
-    if (!value(out)) return false;
-    skip();
-    return i_ == s_.size();
-  }
-
- private:
-  void skip() {
-    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n' ||
-                              s_[i_] == '\r' || s_[i_] == '\t'))
-      ++i_;
-  }
-  bool lit(const char* t, JV& v, char kind) {
-    for (const char* p = t; *p; ++p, ++i_) {
-      if (i_ >= s_.size() || s_[i_] != *p) return false;
-    }
-    v.kind = kind;
-    return true;
-  }
-  bool string(std::string& out) {
-    if (i_ >= s_.size() || s_[i_] != '"') return false;
-    ++i_;
-    while (i_ < s_.size() && s_[i_] != '"') {
-      if (s_[i_] == '\\') {
-        ++i_;
-        if (i_ >= s_.size()) return false;
-        switch (s_[i_]) {
-          case 'u':
-            if (i_ + 4 >= s_.size()) return false;
-            i_ += 4;
-            out += '?';
-            break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          default: out += s_[i_];
-        }
-      } else {
-        out += s_[i_];
-      }
-      ++i_;
-    }
-    if (i_ >= s_.size()) return false;
-    ++i_;  // closing quote
-    return true;
-  }
-  bool value(JV& v) {
-    if (i_ >= s_.size()) return false;
-    const char c = s_[i_];
-    if (c == '{') {
-      v.kind = 'o';
-      ++i_;
-      skip();
-      if (i_ < s_.size() && s_[i_] == '}') return ++i_, true;
-      while (true) {
-        std::string key;
-        skip();
-        if (!string(key)) return false;
-        skip();
-        if (i_ >= s_.size() || s_[i_] != ':') return false;
-        ++i_;
-        skip();
-        if (!value(v.obj[key])) return false;
-        skip();
-        if (i_ < s_.size() && s_[i_] == ',') {
-          ++i_;
-          continue;
-        }
-        break;
-      }
-      if (i_ >= s_.size() || s_[i_] != '}') return false;
-      return ++i_, true;
-    }
-    if (c == '[') {
-      v.kind = 'a';
-      ++i_;
-      skip();
-      if (i_ < s_.size() && s_[i_] == ']') return ++i_, true;
-      while (true) {
-        v.arr.emplace_back();
-        skip();
-        if (!value(v.arr.back())) return false;
-        skip();
-        if (i_ < s_.size() && s_[i_] == ',') {
-          ++i_;
-          continue;
-        }
-        break;
-      }
-      if (i_ >= s_.size() || s_[i_] != ']') return false;
-      return ++i_, true;
-    }
-    if (c == '"') {
-      v.kind = 's';
-      return string(v.str);
-    }
-    if (c == 't') return lit("true", v, 'b');
-    if (c == 'f') return lit("false", v, 'b');
-    if (c == 'n') return lit("null", v, 'z');
-    // number
-    std::size_t end = i_;
-    while (end < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[end])) ||
-                               s_[end] == '-' || s_[end] == '+' ||
-                               s_[end] == '.' || s_[end] == 'e' ||
-                               s_[end] == 'E'))
-      ++end;
-    if (end == i_) return false;
-    v.kind = 'n';
-    v.num = std::stod(s_.substr(i_, end - i_));
-    i_ = end;
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
+// The trace file is validated through obs/json_parse — the library parser
+// that replaced the private MiniJsonParser these tests used to carry.
 
 std::string read_file(const std::string& path) {
   std::string out;
@@ -286,33 +158,35 @@ TEST(Trace, ChromeTraceFileValidates) {
 
   const std::string text = read_file(path);
   ASSERT_FALSE(text.empty()) << "trace file missing: " << path;
-  JV doc;
-  ASSERT_TRUE(MiniJsonParser(text).parse(doc)) << "trace is not valid JSON";
-  ASSERT_EQ(doc.kind, 'o');
-  ASSERT_TRUE(doc.obj.count("traceEvents"));
-  const JV& events = doc.obj["traceEvents"];
-  ASSERT_EQ(events.kind, 'a');
-  ASSERT_FALSE(events.arr.empty());
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(text, doc, &err))
+      << "trace is not valid JSON: " << err;
+  ASSERT_TRUE(doc.is_object());
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->arr.empty());
 
   int complete = 0, metadata = 0, rank_view = 0;
   std::set<std::string> names;
-  for (const JV& e : events.arr) {
-    ASSERT_EQ(e.kind, 'o');
+  for (const obs::JsonValue& e : events->arr) {
+    ASSERT_TRUE(e.is_object());
     for (const char* key : {"name", "ph", "pid", "tid"}) {
-      ASSERT_TRUE(e.obj.count(key)) << "event missing \"" << key << '"';
+      ASSERT_NE(e.find(key), nullptr) << "event missing \"" << key << '"';
     }
-    const std::string& ph = e.obj.at("ph").str;
+    const std::string ph = e.string_or("ph", "");
     ASSERT_TRUE(ph == "X" || ph == "M") << "unexpected ph: " << ph;
     if (ph == "X") {
       ++complete;
-      names.insert(e.obj.at("name").str);
-      ASSERT_TRUE(e.obj.count("ts"));
-      ASSERT_TRUE(e.obj.count("dur"));
-      EXPECT_GE(e.obj.at("dur").num, 0.0);
-      if (e.obj.at("pid").num == 2) ++rank_view;
+      names.insert(e.string_or("name", ""));
+      ASSERT_NE(e.find("ts"), nullptr);
+      ASSERT_NE(e.find("dur"), nullptr);
+      EXPECT_GE(e.number_or("dur", -1), 0.0);
+      if (e.number_or("pid", 0) == 2) ++rank_view;
     } else {
       ++metadata;
-      EXPECT_EQ(e.obj.at("name").str, "process_name");
+      EXPECT_EQ(e.string_or("name", ""), "process_name");
     }
   }
   EXPECT_GT(complete, 0);
@@ -533,9 +407,11 @@ TEST(JsonWriter, EscapesAndNests) {
   EXPECT_EQ(w.str(),
             "{\"s\":\"a\\\"b\\\\c\\nd\",\"t\":true,\"n\":1.5,"
             "\"a\":[1,2],\"o\":{\"k\":\"v\"}}");
-  JV doc;
-  const std::string text = w.str();
-  EXPECT_TRUE(MiniJsonParser(text).parse(doc));
+  obs::JsonValue doc;
+  EXPECT_TRUE(obs::json_parse(w.str(), doc));
+  EXPECT_EQ(doc.string_or("s", ""), "a\"b\\c\nd");
+  EXPECT_TRUE(doc.bool_or("t", false));
+  EXPECT_DOUBLE_EQ(doc.number_or("n", 0), 1.5);
 }
 
 }  // namespace
