@@ -147,7 +147,18 @@ class BenchReport {
   /// Record one balance run.  \p norm is the same normalization the
   /// printed row used (stored so the JSON is self-describing).
   void add(const char* algo, const RunResult& r, double norm = 1.0) {
-    rows_.push_back({algo, norm, r});
+    rows_.push_back({algo, norm, r, "", ""});
+    all_ok_ = all_ok_ && r.ok;
+  }
+
+  /// Record one run with a bench-specific extra section: \p extra_json
+  /// (pre-rendered, well-formed JSON) is spliced verbatim as the run's
+  /// \p extra_key member — e.g. bench_repartition's "repartition" object
+  /// with the slack trajectory and migration goldens.
+  void add(const char* algo, const RunResult& r, double norm,
+           std::string extra_key, std::string extra_json) {
+    rows_.push_back({algo, norm, r, std::move(extra_key),
+                     std::move(extra_json)});
     all_ok_ = all_ok_ && r.ok;
   }
 
@@ -187,6 +198,10 @@ class BenchReport {
       w.kv("rounds_truncated", row.result.rounds_truncated);
       w.key("critical_path");
       obs::critical_path_json(w, row.result.critical_path);
+      if (!row.extra_key.empty()) {
+        w.key(row.extra_key);
+        w.raw(row.extra_json);
+      }
       w.end_object();
     }
     w.end_array();
@@ -199,6 +214,8 @@ class BenchReport {
     std::string algo;
     double norm;
     RunResult result;
+    std::string extra_key;   ///< "" = no extra section
+    std::string extra_json;  ///< pre-rendered value for extra_key
   };
   std::string bench_;
   std::string json_path_;

@@ -75,7 +75,43 @@ CaseConfig random_case_config(std::uint64_t seed, Tier tier) {
   c.opt.notify_carries_queries =
       c.opt.notify_algo == NotifyAlgo::kNotify && rng.chance(0.4);
   c.opt.notify_max_ranges = rng.chance(0.5) ? 8 : 2;
+
+  // Repartition dimensions draw from their own stream: the draws above are
+  // load-bearing (seed-pinned self-tests and shrunk repros depend on the
+  // exact sequence), so new dimensions must not perturb them.
+  Rng rng2(seed ^ 0xC0FFEE0DD15EA5E5ull);
+  const double rp = rng2.uniform();
+  c.repartition = rp < 0.4    ? RepartitionKind::kNone
+                  : rp < 0.6  ? RepartitionKind::kWeightedOctants
+                  : rp < 0.8  ? RepartitionKind::kWeightedInsulation
+                              : RepartitionKind::kNudge;
+  c.repartition_rounds = 1 + static_cast<int>(rng2.below(2));
+  c.repartition_max_nudge = rng2.chance(0.5) ? 4 : 32;
+  // Appending draws to this stream is safe for the same reason the stream
+  // exists; search = 0 exercises the descent-disabled diffusive path.
+  c.repartition_search = rng2.chance(0.25) ? 0 : 1 + static_cast<int>(rng2.below(4));
   return c;
+}
+
+RepartitionOptions repartition_options(const CaseConfig& c) {
+  RepartitionOptions o;
+  switch (c.repartition) {
+    case RepartitionKind::kNone:
+    case RepartitionKind::kWeightedOctants:
+      o.mode = RepartitionMode::kWeighted;
+      o.weight = RepartitionWeight::kOctants;
+      break;
+    case RepartitionKind::kWeightedInsulation:
+      o.mode = RepartitionMode::kWeighted;
+      o.weight = RepartitionWeight::kInsulation;
+      break;
+    case RepartitionKind::kNudge:
+      o.mode = RepartitionMode::kNudge;
+      break;
+  }
+  o.max_nudge = c.repartition_max_nudge;
+  o.search = c.repartition_search;
+  return o;
 }
 
 std::string describe(const CaseConfig& c) {
@@ -103,6 +139,15 @@ std::string describe(const CaseConfig& c) {
          : c.partition == PartitionKind::kUniform ? "uniform"
                                                   : "weighted");
   os << " scramble=" << (c.scramble ? 1 : 0);
+  if (c.repartition != RepartitionKind::kNone) {
+    os << " repart="
+       << (c.repartition == RepartitionKind::kWeightedOctants      ? "octants"
+           : c.repartition == RepartitionKind::kWeightedInsulation ? "insulation"
+                                                                   : "nudge")
+       << " repart_rounds=" << c.repartition_rounds
+       << " max_nudge=" << c.repartition_max_nudge
+       << " search=" << c.repartition_search;
+  }
   os << " subtree="
      << (c.opt.subtree == SubtreeAlgo::kNew ? "new" : "old")
      << " seed_response=" << (c.opt.seed_response ? 1 : 0)

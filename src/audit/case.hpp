@@ -13,6 +13,7 @@
 
 #include "forest/balance.hpp"
 #include "forest/forest.hpp"
+#include "forest/repartition.hpp"
 
 namespace octbal::audit {
 
@@ -31,6 +32,15 @@ enum class PartitionKind : std::uint8_t {
   kEven = 0,      ///< leave the construction-time even split in place
   kUniform = 1,   ///< partition_uniform after refinement
   kWeighted = 2,  ///< partition_weighted by (1 + level)
+};
+
+/// Post-balance dynamic repartitioning exercised by the case (the
+/// forest/repartition.hpp pass), or kNone to leave the partition alone.
+enum class RepartitionKind : std::uint8_t {
+  kNone = 0,
+  kWeightedOctants = 1,     ///< one-shot re-split, unit weights
+  kWeightedInsulation = 2,  ///< one-shot re-split, envelope-size weights
+  kNudge = 3,               ///< critical-path marker nudge
 };
 
 /// How much of the invariant battery a case affords.  The full tier runs
@@ -68,6 +78,14 @@ struct CaseConfig {
   PartitionKind partition = PartitionKind::kEven;
   bool scramble = false;  ///< pseudo-random SimComm delivery order
 
+  /// Dynamic repartitioning after balance: mode, balance→repartition round
+  /// count, the nudge's per-cut SFC-position cap, and its descent step
+  /// budget (0 = diffusive target only, no oracle search).
+  RepartitionKind repartition = RepartitionKind::kNone;
+  int repartition_rounds = 1;
+  int repartition_max_nudge = 8;
+  int repartition_search = 4;
+
   /// Pipeline switches for the main run (opt.k is kept equal to k above;
   /// opt.inject is the fault-injection channel for self-tests).
   BalanceOptions opt{};
@@ -86,6 +104,11 @@ CaseConfig random_case_config(std::uint64_t seed, Tier tier = Tier::kFull);
 
 /// One-line human-readable description (for failure reports and logs).
 std::string describe(const CaseConfig& cfg);
+
+/// The RepartitionOptions a case's repartition dimensions translate to
+/// (opt.inject is left at kNone: the invariant battery injects the fault
+/// channel only where it is under test).
+RepartitionOptions repartition_options(const CaseConfig& cfg);
 
 /// The concrete input of a case: its connectivity and the pre-balance
 /// leaves in global SFC order.  The shrinker mutates only the leaves.

@@ -37,6 +37,17 @@ PipelineRun<D> run_pipeline(const CaseConfig& cfg, const CaseData<D>& data,
   SimComm comm(ranks);
   if (cfg.scramble) comm.set_scramble(cfg.seed);
   balance(f, opt, comm);
+  // Repartition rounds run with the fault channel stripped, so every
+  // content-equality invariant built on this pipeline (scramble, thread
+  // and partition-count invariance, metrics determinism) covers the pass
+  // without tripping on an injected defect; the fault channel itself is
+  // exercised by the dedicated repartition/preserves_content block.
+  if (cfg.repartition != RepartitionKind::kNone) {
+    const RepartitionOptions ropt = repartition_options(cfg);
+    for (int i = 0; i < cfg.repartition_rounds; ++i) {
+      repartition(f, ropt, &comm);
+    }
+  }
   PipelineRun<D> run;
   run.valid = f.is_valid();
   run.got = f.gather();
@@ -121,6 +132,69 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
        << " " << to_string(v.fine.oct) << " (mapped " << to_string(v.mapped)
        << ")";
     return InvariantReport::fail("balance", os.str());
+  }
+
+  // Repartitioning must move ownership only: the partition-independent
+  // checksum, the gathered leaf set and the 2:1 verdict are unchanged, and
+  // the marker array stays sorted and consistent with the local arrays.
+  // This is the one block that runs the pass *with* the fault channel
+  // (kStaleMarkerNudge) installed — run_pipeline strips it above.
+  if (cfg.repartition != RepartitionKind::kNone) {
+    Forest<D> f(data.conn, cfg.ranks, data.leaves);
+    switch (cfg.partition) {
+      case PartitionKind::kEven:
+        break;
+      case PartitionKind::kUniform:
+        f.partition_uniform();
+        break;
+      case PartitionKind::kWeighted:
+        f.partition_weighted(
+            [](const TreeOct<D>& to) { return 1 + to.oct.level; });
+        break;
+    }
+    SimComm comm(cfg.ranks);
+    if (cfg.scramble) comm.set_scramble(cfg.seed);
+    balance(f, cfg.opt, comm);
+    const std::uint64_t sum_before = forest_checksum(f);
+    const std::vector<TreeOct<D>> before = f.gather();
+    const bool balanced_before = forest_is_balanced(before, data.conn, cfg.k);
+    RepartitionOptions ropt = repartition_options(cfg);
+    ropt.inject = cfg.opt.inject;
+    for (int i = 0; i < cfg.repartition_rounds; ++i) {
+      repartition(f, ropt, &comm);
+    }
+    const auto& marks = f.markers();
+    for (std::size_t i = 0; i + 1 < marks.size(); ++i) {
+      if (marks[i + 1] < marks[i]) {
+        return InvariantReport::fail(
+            "repartition/preserves_content",
+            "partition markers not sorted after repartition (marker " +
+                std::to_string(i + 1) + " precedes marker " +
+                std::to_string(i) + ")");
+      }
+    }
+    if (!f.is_valid()) {
+      return InvariantReport::fail(
+          "repartition/preserves_content",
+          "Forest::is_valid failed after repartition (stale or wrong "
+          "markers, or ranks outside their marker ranges)");
+    }
+    if (forest_checksum(f) != sum_before) {
+      return InvariantReport::fail(
+          "repartition/preserves_content",
+          "partition-independent checksum changed across repartition");
+    }
+    if (f.gather() != before) {
+      return InvariantReport::fail(
+          "repartition/preserves_content",
+          "leaf set changed across repartition: " +
+              first_diff<D>(f.gather(), before));
+    }
+    if (forest_is_balanced(f.gather(), data.conn, cfg.k) != balanced_before) {
+      return InvariantReport::fail(
+          "repartition/preserves_content",
+          "2:1 balance verdict changed across repartition");
+    }
   }
 
   // Delivery-order invariance: rerun with the SimComm delivery order

@@ -11,6 +11,14 @@
 ///   "balance"               — forest_find_violation: no 2:1 violation
 ///                             across any codim <= k boundary, tree
 ///                             boundaries included.
+///   "repartition/preserves_content"
+///                           — when the case draws a repartition mode:
+///                             after the balance→repartition rounds the
+///                             partition-independent checksum, leaf set
+///                             and 2:1 verdict are unchanged and the
+///                             markers stay sorted/consistent.  The only
+///                             block that runs the kStaleMarkerNudge
+///                             fault channel.
 ///   "scramble_invariance"   — rerunning with the SimComm delivery order
 ///                             toggled (canonical vs pseudo-randomly
 ///                             scrambled) produces the identical forest;

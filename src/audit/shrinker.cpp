@@ -107,6 +107,24 @@ ShrinkOutcome<D> Shrinker::shrink(const CaseConfig& cfg,
     c.partition = PartitionKind::kEven;
     if (fails_same(c, out.leaves, &out.report)) out.cfg = c;
   }
+  if (out.cfg.repartition != RepartitionKind::kNone) {
+    CaseConfig c = out.cfg;
+    c.repartition = RepartitionKind::kNone;
+    if (fails_same(c, out.leaves, &out.report)) out.cfg = c;
+  }
+  if (out.cfg.repartition_rounds > 1) {
+    CaseConfig c = out.cfg;
+    c.repartition_rounds = 1;
+    if (fails_same(c, out.leaves, &out.report)) out.cfg = c;
+  }
+  if (out.cfg.repartition == RepartitionKind::kNudge &&
+      out.cfg.repartition_search > 0) {
+    // A nudge failure that survives without the oracle descent is a much
+    // simpler repro (the diffusive target is one arithmetic pass).
+    CaseConfig c = out.cfg;
+    c.repartition_search = 0;
+    if (fails_same(c, out.leaves, &out.report)) out.cfg = c;
+  }
   for (const int r : {1, 2, out.cfg.ranks / 2}) {
     if (r < 1 || r >= out.cfg.ranks) continue;
     CaseConfig c = out.cfg;
@@ -201,8 +219,27 @@ std::string Shrinker::regression_source(const CaseConfig& cfg,
      << (cfg.opt.notify_carries_queries ? "true" : "false") << ";\n";
   os << "  SimComm comm(" << cfg.ranks << ");\n";
   if (cfg.scramble) os << "  comm.set_scramble(" << cfg.seed << "ull);\n";
-  os << "  balance(f, opt, comm);\n"
-     << "  EXPECT_TRUE(f.is_valid());\n"
+  os << "  balance(f, opt, comm);\n";
+  if (cfg.repartition != RepartitionKind::kNone) {
+    os << "  RepartitionOptions ropt;\n"
+       << "  ropt.mode = RepartitionMode::"
+       << (cfg.repartition == RepartitionKind::kNudge ? "kNudge" : "kWeighted")
+       << ";\n"
+       << "  ropt.weight = RepartitionWeight::"
+       << (cfg.repartition == RepartitionKind::kWeightedInsulation
+               ? "kInsulation"
+               : "kOctants")
+       << ";\n"
+       << "  ropt.max_nudge = " << cfg.repartition_max_nudge << ";\n"
+       << "  ropt.search = " << cfg.repartition_search << ";\n";
+    if (cfg.opt.inject != FaultInjection::kNone) {
+      os << "  ropt.inject = static_cast<FaultInjection>("
+         << static_cast<int>(cfg.opt.inject) << ");\n";
+    }
+    os << "  for (int i = 0; i < " << cfg.repartition_rounds << "; ++i) "
+       << "repartition(f, ropt, &comm);\n";
+  }
+  os << "  EXPECT_TRUE(f.is_valid());\n"
      << "  EXPECT_EQ(f.gather(), forest_balance_serial(leaves, conn, "
      << cfg.k << "));\n"
      << "  EXPECT_TRUE(forest_is_balanced(f.gather(), conn, " << cfg.k

@@ -15,19 +15,10 @@
 namespace octbal {
 namespace {
 
-/// Wire format for one octant within a tree (trivially copyable).
-template <int D>
-struct WireOct {
-  std::int32_t tree;
-  std::int32_t level;
-  std::array<coord_t, D> x;
-
-  friend bool operator==(const WireOct&, const WireOct&) = default;
-  friend auto operator<=>(const WireOct&, const WireOct&) = default;
-};
-
 /// Wire format for one response item: a payload octant expressed in the
 /// query octant's tree frame (possibly exterior), tagged with its query.
+/// (WireOct itself lives in balance.hpp: the repartition oracle models
+/// the query exchange and must charge the identical wire size.)
 template <int D>
 struct WirePair {
   WireOct<D> query;
@@ -37,20 +28,6 @@ struct WirePair {
   friend bool operator==(const WirePair&, const WirePair&) = default;
   friend auto operator<=>(const WirePair&, const WirePair&) = default;
 };
-
-template <int D>
-WireOct<D> to_wire(const TreeOct<D>& to) {
-  return WireOct<D>{to.tree, to.oct.level, to.oct.x};
-}
-
-template <int D>
-TreeOct<D> from_wire(const WireOct<D>& w) {
-  TreeOct<D> to;
-  to.tree = w.tree;
-  to.oct.level = static_cast<level_t>(w.level);
-  to.oct.x = w.x;
-  return to;
-}
 
 /// Runs of equal tree id within a sorted TreeOct array.
 template <int D>

@@ -30,6 +30,34 @@
 
 namespace octbal {
 
+/// Wire format for one octant within a tree (trivially copyable): the
+/// payload of the balance query exchange.  Shared so consumers that model
+/// that exchange (the repartition nudge's query-replay oracle) charge the
+/// exact bytes the pipeline puts on the wire.
+template <int D>
+struct WireOct {
+  std::int32_t tree;
+  std::int32_t level;
+  std::array<coord_t, D> x;
+
+  friend bool operator==(const WireOct&, const WireOct&) = default;
+  friend auto operator<=>(const WireOct&, const WireOct&) = default;
+};
+
+template <int D>
+WireOct<D> to_wire(const TreeOct<D>& to) {
+  return WireOct<D>{to.tree, to.oct.level, to.oct.x};
+}
+
+template <int D>
+TreeOct<D> from_wire(const WireOct<D>& w) {
+  TreeOct<D> to;
+  to.tree = w.tree;
+  to.oct.level = static_cast<level_t>(w.level);
+  to.oct.x = w.x;
+  return to;
+}
+
 /// Deliberate pipeline defects for the audit subsystem's self-tests
 /// (src/audit): the fuzzer must catch each of these on randomized
 /// workloads, proving the invariant checks have teeth.  Always kNone in
@@ -46,6 +74,12 @@ enum class FaultInjection : std::uint8_t {
   /// scramble invariant must catch it (src/audit self-tests), the same way
   /// kSkipInsulationNeighbor proves the balance invariants have teeth.
   kOrderDependentReduce = 2,
+  /// The repartition pass's marker nudge migrates the octants and charges
+  /// the traffic, but skips the refresh_markers() rebuild, leaving the
+  /// previous partition's markers installed — a "moved the data, forgot
+  /// the index" bug.  The audit battery's repartition/preserves_content
+  /// invariant must catch it (see forest/repartition.cpp).
+  kStaleMarkerNudge = 3,
 };
 
 struct BalanceOptions {

@@ -264,9 +264,60 @@ void diff_run(Differ& d, const std::string& path, const JsonValue& a,
     }
   }
   d.timing_member(path, a, b, "modeled_time");
+  // bench_repartition's per-run convergence section: the migration
+  // counters and rounds-to-converge are machine-independent goldens; the
+  // slack trajectory is modeled time and goes through the tol gate like
+  // every other modeled figure.
+  const JsonValue* ar = a.find("repartition");
+  const JsonValue* br = b.find("repartition");
+  if (ar && br) {
+    const std::string rp = path + ".repartition";
+    for (const char* key :
+         {"mode", "rounds", "rounds_to_converge", "octants_moved",
+          "migration_messages", "migration_bytes", "max_marker_shift",
+          "reverted_rounds"}) {
+      d.exact(rp + "." + key, ar->find(key), br->find(key));
+    }
+    const JsonValue* at = ar->find("slack_trajectory");
+    const JsonValue* bt = br->find("slack_trajectory");
+    if (at && bt && at->is_array() && bt->is_array()) {
+      if (at->arr.size() != bt->arr.size()) {
+        d.mismatch(rp + ".slack_trajectory.length",
+                   std::to_string(at->arr.size()),
+                   std::to_string(bt->arr.size()));
+      } else {
+        for (std::size_t i = 0; i < at->arr.size(); ++i) {
+          d.timing(rp + ".slack_trajectory[" + std::to_string(i) + "]",
+                   &at->arr[i], &bt->arr[i]);
+        }
+      }
+    }
+    d.timing(rp + ".slack_reduction", ar->find("slack_reduction"),
+             br->find("slack_reduction"));
+  }
 }
 
 }  // namespace
+
+const JsonValue* bench_report_section_named(const JsonValue& doc,
+                                            const std::string& bench,
+                                            std::string* err) {
+  if (is_bench_report(doc)) return &doc;
+  const JsonValue* first = nullptr;
+  if (doc.is_object()) {
+    for (const auto& [key, v] : doc.obj) {
+      if (!is_bench_report(v)) continue;
+      if (v.string_or("bench", "") == bench) return &v;
+      if (!first) first = &v;
+    }
+  }
+  if (first) return first;
+  if (err) {
+    *err = "document is neither an octbal-bench-report-v* file nor a "
+           "baseline wrapper containing one";
+  }
+  return nullptr;
+}
 
 const JsonValue* bench_report_section(const JsonValue& doc,
                                       std::string* err) {
@@ -494,9 +545,13 @@ bool diff_reports(const JsonValue& base, const JsonValue& fresh, double tol,
     return true;
   }
 
-  const JsonValue* b = bench_report_section(base, err);
+  // Resolve the fresh side first so a multi-report baseline wrapper can be
+  // paired by bench name instead of member order.
   const JsonValue* f = bench_report_section(fresh, err);
-  if (!b || !f) return false;
+  if (!f) return false;
+  const JsonValue* b =
+      bench_report_section_named(base, f->string_or("bench", ""), err);
+  if (!b) return false;
   Differ d(out, tol);
   d.exact_member("", *b, *f, "bench");
   d.exact_member("", *b, *f, "ok");

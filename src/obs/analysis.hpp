@@ -22,6 +22,16 @@ namespace octbal::obs {
 /// document is neither.
 const JsonValue* bench_report_section(const JsonValue& doc, std::string* err);
 
+/// Like bench_report_section, but when \p doc is a baseline wrapper
+/// holding *several* bench reports (e.g. fig15_weak and repartition side
+/// by side), prefer the member whose "bench" field equals \p bench and
+/// fall back to the first report member otherwise.  diff_reports uses
+/// this so a fresh report is always paired against the matching baseline
+/// section, never whichever member happens to sort first.
+const JsonValue* bench_report_section_named(const JsonValue& doc,
+                                            const std::string& bench,
+                                            std::string* err);
+
 /// Resolve a google-benchmark results object ("benchmarks" array), either
 /// the document itself or the baseline wrapper's `core_ops` member.
 const JsonValue* google_benchmark_section(const JsonValue& doc);

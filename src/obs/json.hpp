@@ -92,6 +92,15 @@ class JsonWriter {
     return value(v);
   }
 
+  /// Splice a pre-rendered JSON value (object/array/scalar) as the next
+  /// value.  The caller guarantees well-formedness; used to attach
+  /// bench-specific sections built elsewhere to a run report.
+  JsonWriter& raw(std::string_view json) {
+    prefix();
+    out_ += json;
+    return *this;
+  }
+
   const std::string& str() const { return out_; }
 
  private:

@@ -92,6 +92,54 @@ TEST(Audit, InjectedOrderDependentReduceIsCaught) {
   }
 }
 
+TEST(Audit, InjectedStaleMarkerNudgeIsCaughtAndShrunk) {
+  // The repartition fault channel: the marker nudge migrates the octants
+  // and charges the traffic but skips the refresh_markers() rebuild —
+  // "moved the data, forgot the index".  Only the
+  // repartition/preserves_content invariant looks at the partition index,
+  // so every failure must surface there, and the shrinker must still
+  // reduce the failing mesh (the fault needs a nudge that actually moves
+  // octants, which survives coarsening down to a few dozen leaves).
+  FuzzOptions opt;
+  opt.seeds = 120;
+  opt.seed0 = 1;
+  opt.inject = FaultInjection::kStaleMarkerNudge;
+  opt.max_failures = 4;
+  const FuzzSummary sum = Fuzzer(opt).run();
+  ASSERT_GT(sum.failed, 0)
+      << "fault injection produced no failures: the invariant has no teeth";
+  std::size_t smallest = SIZE_MAX;
+  for (const auto& f : sum.failures) {
+    EXPECT_EQ(f.invariant, "repartition/preserves_content")
+        << f.invariant << ": " << f.detail;
+    EXPECT_NE(f.repro.find("repartition(f, ropt, &comm)"), std::string::npos);
+    EXPECT_NE(f.repro.find("ropt.inject"), std::string::npos);
+    EXPECT_FALSE(f.config.empty());
+    EXPECT_GT(f.repro_octants, 0u);
+    smallest = std::min(smallest, f.repro_octants);
+  }
+  EXPECT_LE(smallest, 32u)
+      << "shrinker failed to reduce any failure to a small repro";
+}
+
+TEST(Audit, StaleMarkerNudgeReplaysDeterministically) {
+  // Seed 18 draws a kNudge case whose nudge moves octants (covered by the
+  // sweep above); the pinned replay must fail the same way every time.
+  FuzzOptions opt;
+  opt.inject = FaultInjection::kStaleMarkerNudge;
+  opt.shrink = false;
+  const Fuzzer fz(opt);
+  CaseConfig cfg = random_case_config(18);
+  ASSERT_EQ(cfg.repartition, RepartitionKind::kNudge);
+  cfg.opt.inject = opt.inject;
+  FuzzFailure a, b;
+  ASSERT_FALSE(fz.run_case(cfg, &a));
+  ASSERT_FALSE(fz.run_case(cfg, &b));
+  EXPECT_EQ(a.invariant, "repartition/preserves_content") << a.detail;
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_EQ(a.repro, b.repro);
+}
+
 TEST(Audit, ScrambleInvariantCatchesOrderDependence) {
   // Seed 173 draws a scrambled-delivery case where the injected fold picks
   // different query groups to drop under the two delivery orders: every

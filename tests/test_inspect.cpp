@@ -252,6 +252,74 @@ TEST(Inspect, DiffCatchesCounterAndHistogramPerturbation) {
             paths.end());
 }
 
+TEST(Inspect, RepartitionSectionRoundTripsAndDiffs) {
+  // bench_repartition's per-run extra section: the convergence counters
+  // are exact goldens (flagged with timing comparisons off, the CI
+  // configuration), the slack trajectory is modeled time behind the tol
+  // gate.
+  const auto build = [&](int p) {
+    Forest<3> f(Connectivity<3>::brick({2, 1, 1}), p, 2);
+    fractal_refine(f, 4);
+    f.partition_uniform();
+    return f;
+  };
+  const RunResult r = run_balance<3>(build, 6, BalanceOptions::new_config());
+  char prog[] = "test_inspect";
+  char* argv[] = {prog};
+  const Cli cli(1, argv);
+  BenchReport report("bench_repartition", cli);
+  report.add("fig15/nudge", r, 1.0, "repartition",
+             "{\"mode\": \"nudge\", \"rounds\": 4, \"rounds_to_converge\": 1,"
+             " \"octants_moved\": 42, \"migration_messages\": 6,"
+             " \"migration_bytes\": 840, \"max_marker_shift\": 16,"
+             " \"reverted_rounds\": 0,"
+             " \"slack_trajectory\": [4.0, 3.0, 2.0, 2.0],"
+             " \"slack_reduction\": 0.5}");
+  const JsonValue base = parse_ok(report.json());
+  const JsonValue* sec = base.find("runs")->arr[0].find("repartition");
+  ASSERT_NE(sec, nullptr);
+  EXPECT_EQ(sec->uint_or("octants_moved", 0), 42u);
+  EXPECT_EQ(sec->string_or("mode", ""), "nudge");
+
+  {  // self-diff is clean and covers the section's exact keys
+    DiffResult d;
+    std::string err;
+    ASSERT_TRUE(obs::diff_reports(base, base, -1.0, d, &err)) << err;
+    EXPECT_TRUE(d.ok()) << obs::render_diff(d, -1.0);
+  }
+  {  // a migration-counter drift is machine-independent: caught without tol
+    JsonValue fresh = base;
+    fresh.obj["runs"].arr[0].obj["repartition"].obj["octants_moved"].num += 1;
+    DiffResult d;
+    std::string err;
+    ASSERT_TRUE(obs::diff_reports(base, fresh, -1.0, d, &err)) << err;
+    ASSERT_FALSE(d.ok());
+    bool found = false;
+    for (const auto& m : d.mismatches) {
+      found = found || m.path == "runs[0].repartition.octants_moved";
+    }
+    EXPECT_TRUE(found) << obs::render_diff(d, -1.0);
+  }
+  {  // a trajectory drift is modeled time: silent without tol, gated with
+    JsonValue fresh = base;
+    fresh.obj["runs"].arr[0].obj["repartition"].obj["slack_trajectory"]
+        .arr[1].num *= 2.0;
+    DiffResult d;
+    std::string err;
+    ASSERT_TRUE(obs::diff_reports(base, fresh, -1.0, d, &err)) << err;
+    EXPECT_TRUE(d.ok()) << obs::render_diff(d, -1.0);
+    DiffResult dt;
+    ASSERT_TRUE(obs::diff_reports(base, fresh, 0.05, dt, &err)) << err;
+    ASSERT_FALSE(dt.ok());
+    bool found = false;
+    for (const auto& m : dt.mismatches) {
+      found = found || m.path == "runs[0].repartition.slack_trajectory[1]";
+      EXPECT_TRUE(m.timing);
+    }
+    EXPECT_TRUE(found) << obs::render_diff(dt, 0.05);
+  }
+}
+
 TEST(Inspect, DiffTimingIsToleranceGated) {
   const JsonValue base = parse_ok(fig15_report_json());
   JsonValue fresh = base;
