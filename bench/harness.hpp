@@ -11,10 +11,16 @@
 ///                      per-rank stats, message histograms, α–β model)
 ///   --trace out.json   record a Chrome trace_event file of the run
 ///                      (load in https://ui.perfetto.dev)
+///   --flight out.json  record the communication flight log (schema
+///                      octbal-flight-v1: per-round, per-edge counts and
+///                      payload digests; bisect two with octbal_inspect)
 ///   --threads N        thread-pool override (wall-clock only; counters
 ///                      are identical for every thread count)
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +58,10 @@ struct RunResult {
   std::vector<SimComm::Round> rounds;  ///< per-round send/recv matrices
   std::uint64_t rounds_truncated = 0;  ///< rounds dropped by the record cap
   std::vector<SimComm::PhaseCost> critical_path;  ///< per-phase attribution
+  /// Flight log (empty unless SimComm::flight_default() was on, i.e. the
+  /// bench ran with --flight).
+  std::vector<SimComm::FlightRound> flight;
+  std::uint64_t flight_truncated = 0;
 };
 
 /// Balance a freshly built forest (the builder is invoked so that old and
@@ -72,6 +82,8 @@ RunResult run_balance(Builder&& build, int ranks, const BalanceOptions& opt) {
   r.rounds = comm.rounds();
   r.rounds_truncated = comm.rounds_truncated();
   r.critical_path = comm.critical_path();
+  r.flight = comm.flight();
+  r.flight_truncated = comm.flight_truncated();
   const int k = opt.k == 0 ? D : opt.k;
   if (!forest_is_balanced(f.gather(), f.connectivity(), k)) {
     r.ok = false;
@@ -107,20 +119,45 @@ inline void print_phase_row(const RunResult& r, const char* algo,
               r.ok ? "" : "  ** UNBALANCED **");
 }
 
+/// Fail fast when a report sink is unwritable: discovering a typo'd
+/// --json/--trace/--flight path at exit — after the whole run — silently
+/// loses the report.  Probe with an append-mode open, which creates a
+/// missing file without clobbering an existing one.
+inline void require_writable(const char* flag, const std::string& path) {
+  if (path.empty()) return;
+  if (std::FILE* f = std::fopen(path.c_str(), "ab")) {
+    std::fclose(f);
+    return;
+  }
+  std::fprintf(stderr,
+               "--%s: cannot write '%s': %s (fix the path before the run "
+               "starts; nothing has been benchmarked)\n",
+               flag, path.c_str(), std::strerror(errno));
+  std::exit(2);
+}
+
 /// Structured run reporting for a bench binary.  Construct once at the
 /// top of main (this also starts the --trace session, so the whole run is
-/// covered); record every run with add(); the report and trace files are
-/// written when the object goes out of scope.
+/// covered, and enables flight recording when --flight was given); record
+/// every run with add(); the report, trace, and flight files are written
+/// when the object goes out of scope.
 class BenchReport {
  public:
   BenchReport(const char* bench, const Cli& cli)
       : bench_(bench),
         json_path_(cli.get_string("json", "")),
-        trace_path_(cli.get_string("trace", "")) {
+        trace_path_(cli.get_string("trace", "")),
+        flight_path_(cli.get_string("flight", "")) {
+    require_writable("json", json_path_);
+    require_writable("trace", trace_path_);
+    require_writable("flight", flight_path_);
     for (const auto& [key, value] : cli.args()) {
-      if (key != "json" && key != "trace") config_.push_back({key, value});
+      if (key != "json" && key != "trace" && key != "flight") {
+        config_.push_back({key, value});
+      }
     }
     if (!trace_path_.empty()) obs::trace_begin(trace_path_);
+    if (!flight_path_.empty()) SimComm::set_flight_default(true);
   }
 
   BenchReport(const BenchReport&) = delete;
@@ -131,6 +168,20 @@ class BenchReport {
       obs::trace_end();
       std::printf("trace written to %s (load in https://ui.perfetto.dev)\n",
                   trace_path_.c_str());
+    }
+    if (!flight_path_.empty()) {
+      SimComm::set_flight_default(false);
+      const std::string doc = obs::flight_doc_json(flight_logs(), bench_);
+      if (std::FILE* f = std::fopen(flight_path_.c_str(), "w")) {
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        std::printf("flight log written to %s (octbal_inspect flight/bisect "
+                    "to analyze)\n",
+                    flight_path_.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write flight log to '%s'\n",
+                     flight_path_.c_str());
+      }
     }
     if (json_path_.empty()) return;
     const std::string doc = json();
@@ -198,6 +249,10 @@ class BenchReport {
       w.kv("rounds_truncated", row.result.rounds_truncated);
       w.key("critical_path");
       obs::critical_path_json(w, row.result.critical_path);
+      if (!row.result.flight.empty()) {
+        w.key("flight");
+        obs::flight_log_json(w, row_flight_log(row));
+      }
       if (!row.extra_key.empty()) {
         w.key(row.extra_key);
         w.raw(row.extra_json);
@@ -217,9 +272,25 @@ class BenchReport {
     std::string extra_key;   ///< "" = no extra section
     std::string extra_json;  ///< pre-rendered value for extra_key
   };
+
+  static obs::FlightLog row_flight_log(const Row& row) {
+    return obs::FlightLog{
+        row.algo + "/p" + std::to_string(row.result.ranks),
+        row.result.ranks, row.result.flight_truncated, row.result.flight};
+  }
+
+  std::vector<obs::FlightLog> flight_logs() const {
+    std::vector<obs::FlightLog> logs;
+    for (const Row& row : rows_) {
+      if (!row.result.flight.empty()) logs.push_back(row_flight_log(row));
+    }
+    return logs;
+  }
+
   std::string bench_;
   std::string json_path_;
   std::string trace_path_;
+  std::string flight_path_;
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<Row> rows_;
   bool all_ok_ = true;

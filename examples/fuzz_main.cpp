@@ -6,12 +6,17 @@
 /// Usage:
 ///   fuzz_main [--seeds N] [--seed0 S] [--jobs T] [--tier full|large]
 ///             [--inject-bug N] [--no-shrink] [--shrink-evals N]
-///             [--max-failures N] [--json out.json]
+///             [--max-failures N] [--json out.json] [--flight out.json]
 ///
 /// --json writes a machine-readable sweep summary (schema
 /// octbal-fuzz-report-v1): seed range, per-seed verdicts, failing
 /// invariant ids, shrunk repro sizes and sources.  CI uploads it as an
 /// artifact next to the bench run reports.
+///
+/// --flight writes each failure's comm-divergence flight log (schema
+/// octbal-flight-v1, the A/B pair the invariant battery bisected) to the
+/// given path; a second failure goes to out.2.json, and so on.  Feed the
+/// files to `octbal_inspect bisect` to localize the first divergent round.
 ///
 /// --tier large runs the oracle-free battery on ~10^5-octant cases with
 /// 64-192 simulated ranks (see src/audit/case.hpp).  --inject-bug N plants
@@ -23,9 +28,23 @@
 /// the replay command line for its seed.
 
 #include <cstdio>
+#include <string>
 
 #include "audit/fuzzer.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+/// out.json, out.2.json, out.3.json, ... for the Nth failure (1-based).
+std::string flight_file_name(const std::string& base, int n) {
+  if (n <= 1) return base;
+  const std::size_t dot = base.rfind('.');
+  const std::string suffix = "." + std::to_string(n);
+  if (dot == std::string::npos) return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace octbal;
@@ -71,6 +90,8 @@ int main(int argc, char** argv) {
 
   const audit::FuzzSummary sum = audit::Fuzzer(opt).run();
 
+  const std::string flight_path = cli.get_string("flight", "");
+  int flight_written = 0;
   for (const auto& f : sum.failures) {
     std::printf("\nFAIL seed=%llu invariant=%s\n  %s\n  config: %s\n",
                 static_cast<unsigned long long>(f.seed), f.invariant.c_str(),
@@ -83,6 +104,33 @@ int main(int argc, char** argv) {
       std::printf(" --inject-bug %d", static_cast<int>(opt.inject));
     }
     std::printf("\n");
+    if (!flight_path.empty() && !f.flight_doc.empty()) {
+      const std::string path =
+          flight_file_name(flight_path, ++flight_written);
+      if (std::FILE* fp = std::fopen(path.c_str(), "w")) {
+        std::fwrite(f.flight_doc.data(), 1, f.flight_doc.size(), fp);
+        std::fclose(fp);
+        if (f.divergent_round >= 0) {
+          std::printf("  flight log: %s (first divergent round %lld, phase "
+                      "%s, edge %s; octbal_inspect bisect to drill in)\n",
+                      path.c_str(),
+                      static_cast<long long>(f.divergent_round),
+                      f.divergent_phase.c_str(), f.divergent_edge.c_str());
+        } else {
+          std::printf("  flight log: %s (A/B flights identical: defect is "
+                      "after the last comm round)\n",
+                      path.c_str());
+        }
+      } else {
+        std::fprintf(stderr, "cannot write flight log to '%s'\n",
+                     path.c_str());
+      }
+    } else if (f.divergent_round >= 0) {
+      std::printf("  first divergent round %lld (phase %s, edge %s); rerun "
+                  "with --flight out.json to capture the logs\n",
+                  static_cast<long long>(f.divergent_round),
+                  f.divergent_phase.c_str(), f.divergent_edge.c_str());
+    }
     std::printf("  minimized to %zu octants; regression test:\n\n%s\n",
                 f.repro_octants, f.repro.c_str());
   }

@@ -15,9 +15,20 @@
 ///       errors.  --json replaces the human output with a machine-readable
 ///       verdict.  Accepts bench reports (v1/v2), the BENCH_baseline.json
 ///       wrapper, and google-benchmark JSON (compared by benchmark names).
+///   octbal_inspect flight   <flight.json>
+///       Summarize a comm flight log (octbal-flight-v1, or a bench report
+///       with embedded flight members): per-run totals, phase timeline,
+///       top edges by volume, digest spot-checks.
+///   octbal_inspect bisect   <a.json> [<b.json>] [--json]
+///       First-divergence bisection of two flight logs: the earliest round
+///       where the recorded traffic differs, its phase, and the offending
+///       edges.  With one file, the document's first two runs are paired
+///       (the form fuzz_main --flight writes).  Exits 0 when the logs are
+///       identical, 1 on divergence, 2 on usage/parse errors.
 ///
 /// Reports come from any bench binary's --json flag; BENCH_baseline.json
 /// at the repo root is the checked-in perf trajectory CI diffs against.
+/// Flight logs come from any bench binary's or fuzz_main's --flight flag.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,7 +47,9 @@ int usage() {
       "usage: octbal_inspect report   <run.json>\n"
       "       octbal_inspect critpath <run.json>\n"
       "       octbal_inspect diff     <baseline.json> <fresh.json>"
-      " [--tol R] [--json]\n");
+      " [--tol R] [--json]\n"
+      "       octbal_inspect flight   <flight.json>\n"
+      "       octbal_inspect bisect   <a.json> [<b.json>] [--json]\n");
   return 2;
 }
 
@@ -103,6 +116,60 @@ int main(int argc, char** argv) {
     }
     std::fputs(text.c_str(), stdout);
     return 0;
+  }
+  if (std::strcmp(cmd, "flight") == 0) {
+    if (files.size() != 1) return usage();
+    JsonValue doc;
+    if (!load_json(files[0], doc)) return 2;
+    std::vector<FlightLog> logs;
+    std::string err;
+    if (!parse_flight(doc, &logs, &err)) {
+      std::fprintf(stderr, "octbal_inspect: %s: %s\n", files[0], err.c_str());
+      return 2;
+    }
+    std::fputs(render_flight(logs).c_str(), stdout);
+    return 0;
+  }
+  if (std::strcmp(cmd, "bisect") == 0) {
+    if (files.empty() || files.size() > 2) return usage();
+    std::vector<FlightLog> a, b;
+    std::string err;
+    if (files.size() == 2) {
+      JsonValue da, db;
+      if (!load_json(files[0], da) || !load_json(files[1], db)) return 2;
+      if (!parse_flight(da, &a, &err)) {
+        std::fprintf(stderr, "octbal_inspect: %s: %s\n", files[0],
+                     err.c_str());
+        return 2;
+      }
+      if (!parse_flight(db, &b, &err)) {
+        std::fprintf(stderr, "octbal_inspect: %s: %s\n", files[1],
+                     err.c_str());
+        return 2;
+      }
+    } else {
+      // One file: pair its first two runs (the fuzz_main --flight layout,
+      // where the clean and injected logs travel in one document).
+      JsonValue doc;
+      if (!load_json(files[0], doc)) return 2;
+      if (!parse_flight(doc, &a, &err)) {
+        std::fprintf(stderr, "octbal_inspect: %s: %s\n", files[0],
+                     err.c_str());
+        return 2;
+      }
+      if (a.size() < 2) {
+        std::fprintf(stderr,
+                     "octbal_inspect: %s: need two flight logs to bisect "
+                     "(document has %zu)\n",
+                     files[0], a.size());
+        return 2;
+      }
+      b.push_back(a[1]);
+    }
+    const FlightDivergence d = flight_bisect(a.front(), b.front());
+    std::fputs((as_json ? bisect_json(d) : render_bisect(d)).c_str(), stdout);
+    if (as_json) std::fputs("\n", stdout);
+    return d.diverged ? 1 : 0;
   }
   if (std::strcmp(cmd, "diff") == 0) {
     if (files.size() != 2) return usage();

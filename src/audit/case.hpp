@@ -94,6 +94,14 @@ struct CaseConfig {
   /// illegal inside a parallel region — the fuzzer clears this flag when it
   /// fans cases out across jobs.
   bool check_threads = true;
+
+  /// On failure, re-run the failing invariant's natural A/B pair (clean vs
+  /// injected, canonical vs scrambled, 1 vs N threads) with the SimComm
+  /// flight recorder on, bisect the two logs, and attach the first
+  /// divergent round/edge to the report.  The shrinker turns this off
+  /// inside its eval loop — attribution would triple the cost of every
+  /// eval — and re-attributes the final shrunk case.
+  bool attribute_divergence = true;
 };
 
 /// Deterministically expand \p seed into a full case configuration.  The

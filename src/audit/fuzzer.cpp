@@ -19,6 +19,12 @@ bool run_case_d(const CaseConfig& cfg, const FuzzOptions& opt,
   out->seed = cfg.seed;
   out->invariant = rep.invariant;
   out->detail = rep.detail;
+  const auto adopt_attribution = [out](const InvariantReport& r) {
+    out->divergent_round = r.divergent_round;
+    out->divergent_phase = r.divergent_phase;
+    out->divergent_edge = r.divergent_edge;
+    out->flight_doc = r.flight_doc;
+  };
   if (opt.shrink) {
     const ShrinkOutcome<D> s =
         Shrinker::shrink<D>(cfg, data, rep, opt.shrink_evals);
@@ -26,10 +32,12 @@ bool run_case_d(const CaseConfig& cfg, const FuzzOptions& opt,
     out->config = describe(s.cfg);
     out->repro = Shrinker::regression_source<D>(s.cfg, min, s.report);
     out->repro_octants = s.leaves.size();
+    adopt_attribution(s.report);
   } else {
     out->config = describe(cfg);
     out->repro = Shrinker::regression_source<D>(cfg, data, rep);
     out->repro_octants = data.leaves.size();
+    adopt_attribution(rep);
   }
   return false;
 }
@@ -146,6 +154,15 @@ std::string fuzz_summary_json(const FuzzOptions& opt,
     w.kv("config", f.config);
     w.kv("repro_octants", static_cast<std::uint64_t>(f.repro_octants));
     w.kv("repro", f.repro);
+    if (f.divergent_round >= 0) {
+      w.kv("divergent_round", f.divergent_round);
+      w.kv("divergent_phase", f.divergent_phase);
+      w.kv("divergent_edge", f.divergent_edge);
+    }
+    if (!f.flight_doc.empty()) {
+      w.key("flight");
+      w.raw(f.flight_doc);
+    }
     w.end_object();
   }
   w.end_array();

@@ -32,6 +32,14 @@ struct FuzzFailure {
   std::string config;          ///< describe() of the (shrunk) configuration
   std::string repro;           ///< ready-to-paste regression test source
   std::size_t repro_octants = 0;  ///< leaves in the minimized input
+  /// Comm-divergence attribution carried over from the (shrunk)
+  /// InvariantReport: first-divergent flight round (-1 when none), its
+  /// phase, one offending edge, and the two-run octbal-flight-v1 document
+  /// (`fuzz_main --flight` writes it; octbal_inspect bisect reads it).
+  std::int64_t divergent_round = -1;
+  std::string divergent_phase;
+  std::string divergent_edge;
+  std::string flight_doc;
 };
 
 /// Outcome of one fuzzed seed, for the machine-readable sweep summary.

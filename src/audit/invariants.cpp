@@ -6,6 +6,7 @@
 #include "core/linear.hpp"
 #include "core/ripple.hpp"
 #include "core/seeds.hpp"
+#include "obs/analysis.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -17,11 +18,22 @@ struct PipelineRun {
   std::vector<TreeOct<D>> got;
   std::string metrics;
   bool valid = false;
+  std::vector<SimComm::FlightRound> flight;  ///< empty unless flags.flight
+  std::uint64_t flight_truncated = 0;
+};
+
+/// Per-run switches for divergence attribution: record the flight log,
+/// and/or carry the case's fault channel into the repartition rounds (the
+/// way the repartition/preserves_content block does).
+struct RunFlags {
+  bool flight = false;
+  bool inject_repartition = false;
 };
 
 template <int D>
 PipelineRun<D> run_pipeline(const CaseConfig& cfg, const CaseData<D>& data,
-                            const BalanceOptions& opt, int ranks) {
+                            const BalanceOptions& opt, int ranks,
+                            RunFlags flags = {}) {
   Forest<D> f(data.conn, ranks, data.leaves);
   switch (cfg.partition) {
     case PartitionKind::kEven:
@@ -35,15 +47,19 @@ PipelineRun<D> run_pipeline(const CaseConfig& cfg, const CaseData<D>& data,
       break;
   }
   SimComm comm(ranks);
+  comm.set_flight_recording(flags.flight);
   if (cfg.scramble) comm.set_scramble(cfg.seed);
   balance(f, opt, comm);
   // Repartition rounds run with the fault channel stripped, so every
   // content-equality invariant built on this pipeline (scramble, thread
   // and partition-count invariance, metrics determinism) covers the pass
   // without tripping on an injected defect; the fault channel itself is
-  // exercised by the dedicated repartition/preserves_content block.
+  // exercised by the dedicated repartition/preserves_content block (and
+  // by attribution re-runs, which set flags.inject_repartition to mirror
+  // that block).
   if (cfg.repartition != RepartitionKind::kNone) {
-    const RepartitionOptions ropt = repartition_options(cfg);
+    RepartitionOptions ropt = repartition_options(cfg);
+    if (flags.inject_repartition) ropt.inject = opt.inject;
     for (int i = 0; i < cfg.repartition_rounds; ++i) {
       repartition(f, ropt, &comm);
     }
@@ -52,7 +68,88 @@ PipelineRun<D> run_pipeline(const CaseConfig& cfg, const CaseData<D>& data,
   run.valid = f.is_valid();
   run.got = f.gather();
   run.metrics = comm.metrics().snapshot().serialize();
+  run.flight = comm.flight();
+  run.flight_truncated = comm.flight_truncated();
   return run;
+}
+
+/// Which A/B pair explains a failure: clean vs injected pipeline, the two
+/// delivery orders, or the two thread counts.
+enum class DivergencePair { kInject, kScramble, kThreads };
+
+template <int D>
+obs::FlightLog flight_of(std::string label, int ranks, PipelineRun<D>&& run) {
+  return obs::FlightLog{std::move(label), ranks, run.flight_truncated,
+                        std::move(run.flight)};
+}
+
+/// Re-run the failing invariant's natural A/B pair with flight recording,
+/// bisect the two logs, and attach the earliest divergent round/edge (and
+/// the full two-run flight document) to \p rep.  Deterministic: the
+/// re-runs replay the exact configurations the invariant compared.
+template <int D>
+InvariantReport with_divergence(InvariantReport rep, const CaseConfig& cfg,
+                                const CaseData<D>& data,
+                                DivergencePair kind) {
+  if (!cfg.attribute_divergence) return rep;
+  obs::FlightLog a, b;
+  switch (kind) {
+    case DivergencePair::kInject: {
+      BalanceOptions clean = cfg.opt;
+      clean.inject = FaultInjection::kNone;
+      a = flight_of<D>("clean", cfg.ranks,
+                       run_pipeline(cfg, data, clean, cfg.ranks, {true, false}));
+      b = flight_of<D>("injected", cfg.ranks,
+                       run_pipeline(cfg, data, cfg.opt, cfg.ranks,
+                                    {true, true}));
+      break;
+    }
+    case DivergencePair::kScramble: {
+      CaseConfig ca = cfg;
+      ca.scramble = false;
+      CaseConfig cb = cfg;
+      cb.scramble = true;
+      a = flight_of<D>("canonical", cfg.ranks,
+                       run_pipeline(ca, data, cfg.opt, cfg.ranks, {true, false}));
+      b = flight_of<D>("scrambled", cfg.ranks,
+                       run_pipeline(cb, data, cfg.opt, cfg.ranks, {true, false}));
+      break;
+    }
+    case DivergencePair::kThreads: {
+      const int saved = par::num_threads();
+      par::set_num_threads(1);
+      a = flight_of<D>("threads=1", cfg.ranks,
+                       run_pipeline(cfg, data, cfg.opt, cfg.ranks, {true, false}));
+      par::set_num_threads(cfg.threads);
+      b = flight_of<D>("threads=" + std::to_string(cfg.threads), cfg.ranks,
+                       run_pipeline(cfg, data, cfg.opt, cfg.ranks, {true, false}));
+      par::set_num_threads(saved);
+      break;
+    }
+  }
+  const obs::FlightDivergence div = obs::flight_bisect(a, b);
+  rep.flight_doc = obs::flight_doc_json(
+      {a, b},
+      "audit seed " + std::to_string(cfg.seed) + ": " + rep.invariant);
+  if (div.diverged && div.round >= 0) {
+    rep.divergent_round = div.round;
+    rep.divergent_phase = div.phase_a == div.phase_b
+                              ? div.phase_a
+                              : div.phase_a + "|" + div.phase_b;
+    if (!div.edges.empty()) {
+      rep.divergent_edge = std::to_string(div.edges[0].from) + "->" +
+                           std::to_string(div.edges[0].to);
+    }
+    rep.detail += "; comm divergence (" + a.label + " vs " + b.label +
+                  "): first at round " + std::to_string(div.round) +
+                  ", phase " + rep.divergent_phase +
+                  (rep.divergent_edge.empty() ? std::string()
+                                              : ", edge " + rep.divergent_edge);
+  } else {
+    rep.detail += "; flight logs identical (" + a.label + " vs " + b.label +
+                  ": divergence is after the last comm round)";
+  }
+  return rep;
 }
 
 template <int D>
@@ -115,13 +212,24 @@ bool seed_pair_ok(const Octant<D>& o, const Octant<D>& r, int k,
 template <int D>
 InvariantReport Invariants::check(const CaseConfig& cfg,
                                   const CaseData<D>& data) {
+  // A failure of a content invariant under fault injection has a natural
+  // clean-vs-injected flight pair; attach the first-divergent comm round
+  // to the report (no-op for genuinely clean configurations).
+  const auto attributed = [&](InvariantReport r) {
+    if (cfg.opt.inject != FaultInjection::kNone) {
+      return with_divergence<D>(std::move(r), cfg, data,
+                                DivergencePair::kInject);
+    }
+    return r;
+  };
+
   // Main run: the fuzzed configuration exactly as drawn.
   const PipelineRun<D> main = run_pipeline(cfg, data, cfg.opt, cfg.ranks);
   if (!main.valid) {
-    return InvariantReport::fail(
+    return attributed(InvariantReport::fail(
         "structure",
         "Forest::is_valid failed after balance "
-        "(per-rank sortedness / markers / per-tree completeness)");
+        "(per-rank sortedness / markers / per-tree completeness)"));
   }
 
   BalanceViolation<D> v;
@@ -131,7 +239,7 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
        << " " << to_string(v.coarse.oct) << " vs fine tree " << v.fine.tree
        << " " << to_string(v.fine.oct) << " (mapped " << to_string(v.mapped)
        << ")";
-    return InvariantReport::fail("balance", os.str());
+    return attributed(InvariantReport::fail("balance", os.str()));
   }
 
   // Repartitioning must move ownership only: the partition-independent
@@ -166,34 +274,34 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
     const auto& marks = f.markers();
     for (std::size_t i = 0; i + 1 < marks.size(); ++i) {
       if (marks[i + 1] < marks[i]) {
-        return InvariantReport::fail(
+        return attributed(InvariantReport::fail(
             "repartition/preserves_content",
             "partition markers not sorted after repartition (marker " +
                 std::to_string(i + 1) + " precedes marker " +
-                std::to_string(i) + ")");
+                std::to_string(i) + ")"));
       }
     }
     if (!f.is_valid()) {
-      return InvariantReport::fail(
+      return attributed(InvariantReport::fail(
           "repartition/preserves_content",
           "Forest::is_valid failed after repartition (stale or wrong "
-          "markers, or ranks outside their marker ranges)");
+          "markers, or ranks outside their marker ranges)"));
     }
     if (forest_checksum(f) != sum_before) {
-      return InvariantReport::fail(
+      return attributed(InvariantReport::fail(
           "repartition/preserves_content",
-          "partition-independent checksum changed across repartition");
+          "partition-independent checksum changed across repartition"));
     }
     if (f.gather() != before) {
-      return InvariantReport::fail(
+      return attributed(InvariantReport::fail(
           "repartition/preserves_content",
           "leaf set changed across repartition: " +
-              first_diff<D>(f.gather(), before));
+              first_diff<D>(f.gather(), before)));
     }
     if (forest_is_balanced(f.gather(), data.conn, cfg.k) != balanced_before) {
-      return InvariantReport::fail(
+      return attributed(InvariantReport::fail(
           "repartition/preserves_content",
-          "2:1 balance verdict changed across repartition");
+          "2:1 balance verdict changed across repartition"));
     }
   }
 
@@ -207,19 +315,21 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
     alt_cfg.scramble = !cfg.scramble;
     const PipelineRun<D> alt = run_pipeline(alt_cfg, data, cfg.opt, cfg.ranks);
     if (alt.got != main.got) {
-      return InvariantReport::fail(
-          "scramble_invariance",
-          std::string("forest differs between canonical and scrambled "
-                      "delivery order: ") +
-              first_diff<D>(alt.got, main.got));
+      return with_divergence<D>(
+          InvariantReport::fail(
+              "scramble_invariance",
+              std::string("forest differs between canonical and scrambled "
+                          "delivery order: ") +
+                  first_diff<D>(alt.got, main.got)),
+          cfg, data, DivergencePair::kScramble);
     }
   }
 
   if (cfg.tier == Tier::kFull) {
     const auto want = forest_balance_serial(data.leaves, data.conn, cfg.k);
     if (main.got != want) {
-      return InvariantReport::fail("serial_diff",
-                                   first_diff<D>(main.got, want));
+      return attributed(
+          InvariantReport::fail("serial_diff", first_diff<D>(main.got, want)));
     }
 
     // Old-vs-new equivalence: the pre-paper configuration must reach the
@@ -229,8 +339,8 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
     old.inject = cfg.opt.inject;
     const PipelineRun<D> alt = run_pipeline(cfg, data, old, cfg.ranks);
     if (alt.got != want) {
-      return InvariantReport::fail("old_new_diff",
-                                   first_diff<D>(alt.got, want));
+      return attributed(
+          InvariantReport::fail("old_new_diff", first_diff<D>(alt.got, want)));
     }
   }
 
@@ -273,16 +383,20 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
     const PipelineRun<D> tn = run_pipeline(cfg, data, cfg.opt, cfg.ranks);
     par::set_num_threads(saved);
     if (t1.got != tn.got) {
-      return InvariantReport::fail(
-          "thread_determinism",
-          "forest differs between 1 and " + std::to_string(cfg.threads) +
-              " threads: " + first_diff<D>(tn.got, t1.got));
+      return with_divergence<D>(
+          InvariantReport::fail(
+              "thread_determinism",
+              "forest differs between 1 and " + std::to_string(cfg.threads) +
+                  " threads: " + first_diff<D>(tn.got, t1.got)),
+          cfg, data, DivergencePair::kThreads);
     }
     if (t1.metrics != tn.metrics) {
-      return InvariantReport::fail(
-          "thread_determinism",
-          "obs metrics not byte-identical between 1 and " +
-              std::to_string(cfg.threads) + " threads");
+      return with_divergence<D>(
+          InvariantReport::fail(
+              "thread_determinism",
+              "obs metrics not byte-identical between 1 and " +
+                  std::to_string(cfg.threads) + " threads"),
+          cfg, data, DivergencePair::kThreads);
     }
   }
 

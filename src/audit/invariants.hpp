@@ -55,6 +55,19 @@ struct InvariantReport {
   std::string detail;     ///< human-readable specifics
   std::uint64_t octants_after = 0;  ///< balanced-forest size of the main run
 
+  /// Comm-divergence attribution, filled on failure when
+  /// cfg.attribute_divergence and the invariant has a natural A/B pair
+  /// (clean vs injected, canonical vs scrambled, 1 vs N threads): the
+  /// earliest flight round where the paired runs differ, its phase, one
+  /// offending edge ("3->5"), and the full two-run octbal-flight-v1
+  /// document for offline bisection (octbal_inspect bisect).  round == -1
+  /// when no attribution ran or the flights were identical (the defect
+  /// manifests after the last recorded comm round).
+  std::int64_t divergent_round = -1;
+  std::string divergent_phase;
+  std::string divergent_edge;
+  std::string flight_doc;
+
   static InvariantReport pass() { return {}; }
   static InvariantReport fail(std::string inv, std::string det) {
     InvariantReport r;

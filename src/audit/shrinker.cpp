@@ -82,7 +82,12 @@ ShrinkOutcome<D> Shrinker::shrink(const CaseConfig& cfg,
     if (out.evals >= max_evals) return false;
     ++out.evals;
     const CaseData<D> d{data.conn, lv};
-    InvariantReport r = Invariants::check<D>(c, d);
+    // Attribution re-runs the failing pair with flight recording — three
+    // pipeline executions per eval instead of one.  Skip it while probing
+    // simplifications; the final shrunk case is re-attributed below.
+    CaseConfig quiet = c;
+    quiet.attribute_divergence = false;
+    InvariantReport r = Invariants::check<D>(quiet, d);
     if (!r.ok && same_failure_class(r.invariant, first.invariant)) {
       if (rep) *rep = std::move(r);
       return true;
@@ -155,6 +160,15 @@ ShrinkOutcome<D> Shrinker::shrink(const CaseConfig& cfg,
         }
         if (out.evals >= max_evals) break;
       }
+    }
+  }
+  // Re-attribute the shrunk case once, so the reported divergence points
+  // at the minimized repro's comm traffic rather than the original's.
+  if (!out.report.ok && cfg.attribute_divergence) {
+    const CaseData<D> d{data.conn, out.leaves};
+    InvariantReport r = Invariants::check<D>(out.cfg, d);
+    if (!r.ok && same_failure_class(r.invariant, out.report.invariant)) {
+      out.report = std::move(r);
     }
   }
   return out;

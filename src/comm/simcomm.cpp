@@ -9,6 +9,36 @@
 #include "util/timer.hpp"
 
 namespace octbal {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Chain \p n bytes into an FNV-1a 64-bit digest.
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Chain one 64-bit value (little-endian bytes) into the digest.
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Process-wide flight default (see set_flight_default()): written only by
+// the orchestrating thread before runs start, read once per constructor.
+bool g_flight_default = false;
+
+}  // namespace
+
+void SimComm::set_flight_default(bool on) { g_flight_default = on; }
+bool SimComm::flight_default() { return g_flight_default; }
 
 SimComm::SimComm(int nranks)
     : outbox_(nranks),
@@ -16,6 +46,7 @@ SimComm::SimComm(int nranks)
       send_mu_(std::make_unique<std::mutex[]>(nranks)),
       metrics_(std::make_unique<obs::Metrics>(nranks)) {
   assert(nranks >= 1);
+  flight_record_ = g_flight_default;
   c_msgs_sent_ = &metrics_->counter("comm/msgs_sent");
   c_bytes_sent_ = &metrics_->counter("comm/bytes_sent");
   c_msgs_recv_ = &metrics_->counter("comm/msgs_recv");
@@ -53,6 +84,7 @@ void SimComm::deliver() {
   OBS_SPAN("deliver");
   Timer barrier_timer;
   Round round;
+  FlightRound fround;
   // Per-rank α–β cost of this round: the critical path is the maximum over
   // ranks of (bytes sent + received, messages sent + received).
   std::vector<CommStats> per_rank(outbox_.size());
@@ -61,6 +93,7 @@ void SimComm::deliver() {
     // matrix (sources are visited in rank order, so entries come out
     // sorted by (from, to)).
     std::map<int, RoundEntry> by_dest;
+    std::map<int, FlightEdge> by_dest_flight;
     for (auto& p : src) {
       stats_.messages += 1;
       stats_.bytes += p.data.size();
@@ -80,6 +113,25 @@ void SimComm::deliver() {
         e.messages += 1;
         e.bytes += p.data.size();
       }
+      if (flight_record_) {
+        // Digest the canonical outbox walk, before the payload moves into
+        // the inbox (and before any scramble): the chain depends only on
+        // what was sent, per edge, in post order.
+        FlightEdge& e = by_dest_flight[p.to];
+        e.from = p.from;
+        e.to = p.to;
+        e.messages += 1;
+        e.bytes += p.data.size();
+        e.digest = fnv1a_u64(e.digest, p.data.size());
+        e.digest = fnv1a(e.digest, p.data.data(), p.data.size());
+        if (flight_payload_used_ < flight_payload_limit_) {
+          const std::size_t take = std::min(
+              p.data.size(), flight_payload_limit_ - flight_payload_used_);
+          e.payload.insert(e.payload.end(), p.data.begin(),
+                           p.data.begin() + static_cast<std::ptrdiff_t>(take));
+          flight_payload_used_ += take;
+        }
+      }
       inbox_[p.to].push_back(SimMessage{p.from, std::move(p.data)});
     }
     src.clear();
@@ -87,6 +139,17 @@ void SimComm::deliver() {
       round.total.messages += e.messages;
       round.total.bytes += e.bytes;
       round.entries.push_back(e);
+    }
+    for (auto& [to, e] : by_dest_flight) {
+      fround.messages += e.messages;
+      fround.bytes += e.bytes;
+      fround.digest = fnv1a_u64(
+          fround.digest, (static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(e.from))
+                          << 32) |
+                             static_cast<std::uint32_t>(e.to));
+      fround.digest = fnv1a_u64(fround.digest, e.digest);
+      fround.edges.push_back(std::move(e));
     }
   }
   // Critical-path attribution: the round's modeled time is the maximum
@@ -130,6 +193,15 @@ void SimComm::deliver() {
       rounds_.push_back(std::move(round));
     } else {
       rounds_truncated_ += 1;
+    }
+  }
+  if (flight_record_) {
+    fround.phase = phase_;
+    if (flight_recorded_edges_ + fround.edges.size() <= flight_record_limit_) {
+      flight_recorded_edges_ += fround.edges.size();
+      flight_.push_back(std::move(fround));
+    } else {
+      flight_truncated_ += 1;
     }
   }
   // Keep inboxes deterministic: order by sender, stable in post order —
@@ -200,6 +272,10 @@ void SimComm::reset_stats() {
   rounds_.clear();
   recorded_entries_ = 0;
   rounds_truncated_ = 0;
+  flight_.clear();
+  flight_recorded_edges_ = 0;
+  flight_truncated_ = 0;
+  flight_payload_used_ = 0;
   phases_.clear();
   barrier_seconds_ = 0.0;
   // The metrics registry intentionally keeps accumulating: snapshots are

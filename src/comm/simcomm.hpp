@@ -235,6 +235,75 @@ class SimComm {
   /// The seed passed to set_scramble() (meaningful only when scrambled()).
   std::uint64_t scramble_seed() const { return scramble_seed_; }
 
+  /// FNV-1a 64-bit offset basis: the seed of every flight digest chain.
+  static constexpr std::uint64_t kFlightDigestSeed = 0xcbf29ce484222325ull;
+
+  /// One (from, to) edge of a flight-recorded round: aggregate counts plus
+  /// an order-sensitive 64-bit digest chained over the edge's payloads in
+  /// delivery order (FNV-1a over each message's length then bytes).  The
+  /// chain runs over the *canonical* outbox walk, before any inbox
+  /// scramble, so digests are byte-identical for any thread count and any
+  /// delivery-order injection — two runs' flights differ only where the
+  /// traffic itself differs.
+  struct FlightEdge {
+    std::int32_t from = 0;
+    std::int32_t to = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t digest = kFlightDigestSeed;
+    /// Captured payload prefix (concatenated message bytes, in delivery
+    /// order) — empty unless a payload budget was set; shorter than
+    /// bytes when the budget ran out mid-edge.
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// One deliver() round of the flight log.  Edges are sorted by
+  /// (from, to); the round digest folds every edge's identity and digest,
+  /// so two rounds are content-identical iff their digests match (modulo
+  /// 64-bit collisions).
+  struct FlightRound {
+    std::string phase;  ///< phase label active when the round delivered
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t digest = kFlightDigestSeed;
+    std::vector<FlightEdge> edges;
+  };
+
+  /// Enable the flight recorder: every subsequent deliver() appends a
+  /// FlightRound (empty rounds included, so indices align with rounds()
+  /// and the pipeline's barrier structure).  Off by default; when off the
+  /// per-message cost is one predictable branch (same discipline as the
+  /// disabled-span guard in obs/trace.hpp).
+  void set_flight_recording(bool on) { flight_record_ = on; }
+  bool flight_recording() const { return flight_record_; }
+
+  /// Cap the cumulative number of recorded flight edges across all rounds
+  /// (default 1M, mirroring set_round_record_limit()).  Rounds past the
+  /// budget are dropped from flight() but counted by flight_truncated().
+  void set_flight_record_limit(std::size_t max_edges) {
+    flight_record_limit_ = max_edges;
+  }
+
+  /// Cap the cumulative payload bytes captured into FlightEdge::payload
+  /// (default 0: digests only).  Capture stops mid-message when the
+  /// budget runs out; counts and digests are never affected.
+  void set_flight_payload_limit(std::size_t max_bytes) {
+    flight_payload_limit_ = max_bytes;
+  }
+
+  /// The flight log since construction (or the last reset_stats()).
+  const std::vector<FlightRound>& flight() const { return flight_; }
+
+  /// Number of deliver() rounds dropped by the flight edge budget.
+  std::uint64_t flight_truncated() const { return flight_truncated_; }
+
+  /// Process-wide default for flight recording, read once per SimComm
+  /// constructor.  Lets `--flight` on a bench reach the communicators that
+  /// run_balance() constructs internally.  Engine-level: set from the
+  /// orchestrating thread before the runs start.
+  static void set_flight_default(bool on);
+  static bool flight_default();
+
  private:
   void charge_collective(std::size_t total_bytes);
 
@@ -262,6 +331,13 @@ class SimComm {
   std::size_t round_record_limit_ = 1u << 20;  ///< cumulative edge budget
   std::size_t recorded_entries_ = 0;
   std::uint64_t rounds_truncated_ = 0;
+  std::vector<FlightRound> flight_;
+  bool flight_record_ = false;
+  std::size_t flight_record_limit_ = 1u << 20;  ///< cumulative edge budget
+  std::size_t flight_recorded_edges_ = 0;
+  std::uint64_t flight_truncated_ = 0;
+  std::size_t flight_payload_limit_ = 0;  ///< cumulative captured bytes
+  std::size_t flight_payload_used_ = 0;
   std::string phase_ = "run";
   std::vector<PhaseCost> phases_;  ///< first-charge order
   double barrier_seconds_ = 0.0;

@@ -298,8 +298,23 @@ RepartitionReport repartition(Forest<D>& f, const RepartitionOptions& opt,
   const std::size_t n = all.size();
 
   // Current cuts as global SFC indices: rank r owns [cuts[r], cuts[r+1]).
+  // Resolved through the partition markers — the index a real migration
+  // planner consults to learn current ownership — not by a god's-eye walk
+  // of the per-rank vectors.  On a consistent forest the two agree
+  // exactly; when the index is stale (the kStaleMarkerNudge channel) the
+  // exchange is planned against the wrong ownership and the misrouted
+  // traffic shows up in the comm flight log, where the postmortem
+  // toolchain can bisect it.
   std::vector<std::size_t> old_cuts(p + 1, 0);
-  for (int r = 0; r < p; ++r) old_cuts[r + 1] = old_cuts[r] + f.local(r).size();
+  old_cuts[p] = n;
+  for (int r = 1; r < p; ++r) {
+    old_cuts[r] = static_cast<std::size_t>(
+        std::lower_bound(all.begin(), all.end(), f.marker(r),
+                         [](const TreeOct<D>& to, const GlobalPos& m) {
+                           return position_of(to) < m;
+                         }) -
+        all.begin());
+  }
   std::vector<std::size_t> cuts = old_cuts;
 
   if (opt.mode == RepartitionMode::kWeighted) {

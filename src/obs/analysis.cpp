@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 
 #include "obs/json.hpp"
@@ -590,6 +591,362 @@ std::string render_diff(const DiffResult& d, double tol) {
                                                       : d.timing_skipped),
              tol >= 0 ? "compared" : "skipped (pass --tol to enforce)");
   return out;
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  return fmt("%016llx", static_cast<unsigned long long>(v));
+}
+
+/// Parse a 16-digit hex digest back to its uint64 (0 on malformed input —
+/// the digests we emit are never the empty string).
+std::uint64_t parse_hex64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+bool parse_flight_run(const JsonValue& v, FlightLog* log, std::string* err) {
+  if (!v.is_object()) {
+    if (err) *err = "flight log entry is not an object";
+    return false;
+  }
+  log->label = v.string_or("label", "");
+  log->ranks = static_cast<int>(v.uint_or("ranks", 0));
+  log->rounds_truncated = v.uint_or("rounds_truncated", 0);
+  const JsonValue* rounds = v.find("rounds");
+  if (!rounds || !rounds->is_array()) {
+    if (err) *err = "flight log has no rounds array";
+    return false;
+  }
+  log->rounds.clear();
+  log->rounds.reserve(rounds->arr.size());
+  for (const JsonValue& r : rounds->arr) {
+    SimComm::FlightRound out;
+    out.phase = r.string_or("phase", "");
+    out.messages = r.uint_or("messages", 0);
+    out.bytes = r.uint_or("bytes", 0);
+    out.digest = parse_hex64(r.string_or("digest", ""));
+    const JsonValue* edges = r.find("edges");
+    if (!edges || !edges->is_array()) {
+      if (err) *err = "flight round has no edges array";
+      return false;
+    }
+    for (const JsonValue& e : edges->arr) {
+      if (!e.is_array() || e.arr.size() < 5 || !e.arr[4].is_string()) {
+        if (err) *err = "malformed flight edge (want [from, to, messages, "
+                        "bytes, digest])";
+        return false;
+      }
+      SimComm::FlightEdge fe;
+      fe.from = static_cast<int>(e.arr[0].num);
+      fe.to = static_cast<int>(e.arr[1].num);
+      fe.messages = e.arr[2].as_uint();
+      fe.bytes = e.arr[3].as_uint();
+      fe.digest = parse_hex64(e.arr[4].str);
+      if (e.arr.size() >= 6 && e.arr[5].is_string()) {
+        const std::string& hex = e.arr[5].str;
+        fe.payload.reserve(hex.size() / 2);
+        for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+          const char b[3] = {hex[i], hex[i + 1], 0};
+          fe.payload.push_back(
+              static_cast<std::uint8_t>(std::strtoul(b, nullptr, 16)));
+        }
+      }
+      out.edges.push_back(std::move(fe));
+    }
+    log->rounds.push_back(std::move(out));
+  }
+  return true;
+}
+
+std::string edge_desc(const SimComm::FlightEdge& e) {
+  return fmt("%llu msgs, %llu B, digest %s",
+             static_cast<unsigned long long>(e.messages),
+             static_cast<unsigned long long>(e.bytes),
+             hex64(e.digest).c_str());
+}
+
+}  // namespace
+
+bool parse_flight(const JsonValue& doc, std::vector<FlightLog>* out,
+                  std::string* err) {
+  out->clear();
+  if (doc.string_or("schema", "") == "octbal-flight-v1") {
+    const JsonValue* runs = doc.find("runs");
+    if (!runs || !runs->is_array()) {
+      if (err) *err = "octbal-flight-v1 document has no runs array";
+      return false;
+    }
+    for (const JsonValue& run : runs->arr) {
+      FlightLog log;
+      if (!parse_flight_run(run, &log, err)) return false;
+      out->push_back(std::move(log));
+    }
+    if (out->empty()) {
+      if (err) *err = "flight document has no runs";
+      return false;
+    }
+    return true;
+  }
+  if (const JsonValue* rep = bench_report_section(doc, nullptr)) {
+    const JsonValue* runs = rep->find("runs");
+    if (runs && runs->is_array()) {
+      for (const JsonValue& run : runs->arr) {
+        const JsonValue* f = run.find("flight");
+        if (!f) continue;
+        FlightLog log;
+        if (!parse_flight_run(*f, &log, err)) return false;
+        if (log.label.empty()) {
+          log.label = run.string_or("algo", "run") + "/p" +
+                      std::to_string(run.uint_or("ranks", 0));
+        }
+        out->push_back(std::move(log));
+      }
+    }
+    if (out->empty()) {
+      if (err) {
+        *err = "bench report has no embedded flight logs "
+               "(re-run the bench with --flight)";
+      }
+      return false;
+    }
+    return true;
+  }
+  if (err) {
+    *err = "document is neither octbal-flight-v1 nor a bench report with "
+           "embedded flight logs";
+  }
+  return false;
+}
+
+FlightDivergence flight_bisect(const FlightLog& a, const FlightLog& b) {
+  FlightDivergence d;
+  d.label_a = a.label;
+  d.label_b = b.label;
+  if (a.ranks != b.ranks) {
+    d.diverged = true;
+    d.what = fmt("rank count differs (%d vs %d)", a.ranks, b.ranks);
+    return d;
+  }
+  constexpr std::size_t kMaxEdgeDiffs = 8;
+  const std::size_t n = std::min(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimComm::FlightRound& ra = a.rounds[i];
+    const SimComm::FlightRound& rb = b.rounds[i];
+    const bool same_phase = ra.phase == rb.phase;
+    const bool same_content = ra.digest == rb.digest &&
+                              ra.messages == rb.messages &&
+                              ra.bytes == rb.bytes &&
+                              ra.edges.size() == rb.edges.size();
+    if (same_phase && same_content) continue;
+    d.diverged = true;
+    d.round = static_cast<std::int64_t>(i);
+    d.rounds_compared = i;
+    d.phase_a = ra.phase;
+    d.phase_b = rb.phase;
+    // Merge the two sorted (from, to) edge lists to name the offenders.
+    std::size_t ia = 0, ib = 0;
+    while (ia < ra.edges.size() || ib < rb.edges.size()) {
+      const SimComm::FlightEdge* ea =
+          ia < ra.edges.size() ? &ra.edges[ia] : nullptr;
+      const SimComm::FlightEdge* eb =
+          ib < rb.edges.size() ? &rb.edges[ib] : nullptr;
+      int cmp = 0;
+      if (ea && eb) {
+        cmp = std::tie(ea->from, ea->to) < std::tie(eb->from, eb->to)   ? -1
+              : std::tie(eb->from, eb->to) < std::tie(ea->from, ea->to) ? 1
+                                                                        : 0;
+      } else {
+        cmp = ea ? -1 : 1;
+      }
+      if (cmp < 0) {
+        d.edges_differing += 1;
+        if (d.edges.size() < kMaxEdgeDiffs) {
+          d.edges.push_back({ea->from, ea->to, edge_desc(*ea), "absent"});
+        }
+        ++ia;
+      } else if (cmp > 0) {
+        d.edges_differing += 1;
+        if (d.edges.size() < kMaxEdgeDiffs) {
+          d.edges.push_back({eb->from, eb->to, "absent", edge_desc(*eb)});
+        }
+        ++ib;
+      } else {
+        if (ea->messages != eb->messages || ea->bytes != eb->bytes ||
+            ea->digest != eb->digest) {
+          d.edges_differing += 1;
+          if (d.edges.size() < kMaxEdgeDiffs) {
+            d.edges.push_back(
+                {ea->from, ea->to, edge_desc(*ea), edge_desc(*eb)});
+          }
+        }
+        ++ia;
+        ++ib;
+      }
+    }
+    if (!same_phase) {
+      d.what = fmt("phase label differs (\"%s\" vs \"%s\")",
+                   ra.phase.c_str(), rb.phase.c_str());
+    } else {
+      d.what = fmt("%llu edge(s) differ",
+                   static_cast<unsigned long long>(d.edges_differing));
+    }
+    return d;
+  }
+  d.rounds_compared = n;
+  if (a.rounds.size() != b.rounds.size()) {
+    d.diverged = true;
+    d.round = static_cast<std::int64_t>(n);
+    d.what = fmt("round count differs (%zu vs %zu)", a.rounds.size(),
+                 b.rounds.size());
+    const FlightLog& longer = a.rounds.size() > b.rounds.size() ? a : b;
+    (a.rounds.size() > b.rounds.size() ? d.phase_a : d.phase_b) =
+        longer.rounds[n].phase;
+  }
+  return d;
+}
+
+std::string render_flight(const std::vector<FlightLog>& logs) {
+  std::string out;
+  for (const FlightLog& log : logs) {
+    std::uint64_t msgs = 0, bytes = 0;
+    for (const auto& r : log.rounds) {
+      msgs += r.messages;
+      bytes += r.bytes;
+    }
+    out += fmt("flight %s: %d ranks, %zu rounds (%llu msgs, %llu B)",
+               log.label.empty() ? "(unlabeled)" : log.label.c_str(),
+               log.ranks, log.rounds.size(),
+               static_cast<unsigned long long>(msgs),
+               static_cast<unsigned long long>(bytes));
+    if (log.rounds_truncated) {
+      out += fmt("  [%llu rounds not recorded]",
+                 static_cast<unsigned long long>(log.rounds_truncated));
+    }
+    out += "\n";
+    // Phase timeline: consecutive same-phase round ranges.
+    for (std::size_t i = 0; i < log.rounds.size();) {
+      std::size_t j = i;
+      std::uint64_t pm = 0, pb = 0;
+      while (j < log.rounds.size() &&
+             log.rounds[j].phase == log.rounds[i].phase) {
+        pm += log.rounds[j].messages;
+        pb += log.rounds[j].bytes;
+        ++j;
+      }
+      out += fmt("  rounds [%zu..%zu] %-20s %llu msgs, %llu B\n", i, j - 1,
+                 log.rounds[i].phase.c_str(),
+                 static_cast<unsigned long long>(pm),
+                 static_cast<unsigned long long>(pb));
+      i = j;
+    }
+    // Heaviest edges over the whole log.
+    std::map<std::pair<int, int>, CommEdge> agg;
+    for (const auto& r : log.rounds) {
+      for (const auto& e : r.edges) {
+        CommEdge& ce = agg[{e.from, e.to}];
+        ce.from = e.from;
+        ce.to = e.to;
+        ce.messages += e.messages;
+        ce.bytes += e.bytes;
+      }
+    }
+    std::vector<CommEdge> top;
+    top.reserve(agg.size());
+    for (const auto& [key, e] : agg) top.push_back(e);
+    std::sort(top.begin(), top.end(), [](const CommEdge& x, const CommEdge& y) {
+      if (x.bytes != y.bytes) return x.bytes > y.bytes;
+      if (x.messages != y.messages) return x.messages > y.messages;
+      return std::tie(x.from, x.to) < std::tie(y.from, y.to);
+    });
+    if (!top.empty()) {
+      out += "  top edges:";
+      for (std::size_t i = 0; i < top.size() && i < 5; ++i) {
+        out += fmt(" %d->%d (%llu msgs, %llu B)", top[i].from, top[i].to,
+                   static_cast<unsigned long long>(top[i].messages),
+                   static_cast<unsigned long long>(top[i].bytes));
+      }
+      out += "\n";
+    }
+    // Digest spot-checks: first, middle, last round.
+    if (!log.rounds.empty()) {
+      std::vector<std::size_t> picks = {0, log.rounds.size() / 2,
+                                        log.rounds.size() - 1};
+      picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+      out += "  digest spot-checks:";
+      for (const std::size_t i : picks) {
+        out += fmt(" round %zu %s (%s)", i, hex64(log.rounds[i].digest).c_str(),
+                   log.rounds[i].phase.c_str());
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string render_bisect(const FlightDivergence& d) {
+  std::string out;
+  const std::string a = d.label_a.empty() ? "a" : d.label_a;
+  const std::string b = d.label_b.empty() ? "b" : d.label_b;
+  if (!d.diverged) {
+    out += fmt("bisect %s vs %s: IDENTICAL (%llu rounds compared)\n",
+               a.c_str(), b.c_str(),
+               static_cast<unsigned long long>(d.rounds_compared));
+    return out;
+  }
+  if (d.round < 0) {
+    out += fmt("bisect %s vs %s: %s\n", a.c_str(), b.c_str(), d.what.c_str());
+    return out;
+  }
+  out += fmt("bisect %s vs %s: FIRST DIVERGENCE at round %lld", a.c_str(),
+             b.c_str(), static_cast<long long>(d.round));
+  if (!d.phase_a.empty() || !d.phase_b.empty()) {
+    out += d.phase_a == d.phase_b
+               ? fmt(" (phase %s)", d.phase_a.c_str())
+               : fmt(" (phase %s vs %s)",
+                     d.phase_a.empty() ? "<none>" : d.phase_a.c_str(),
+                     d.phase_b.empty() ? "<none>" : d.phase_b.c_str());
+  }
+  out += "\n  " + d.what + "\n";
+  for (const auto& e : d.edges) {
+    out += fmt("  edge %d->%d: %s = %s; %s = %s\n", e.from, e.to, a.c_str(),
+               e.a.c_str(), b.c_str(), e.b.c_str());
+  }
+  if (d.edges_differing > d.edges.size()) {
+    out += fmt("  (+%llu more differing edges)\n",
+               static_cast<unsigned long long>(d.edges_differing -
+                                               d.edges.size()));
+  }
+  out += fmt("  %llu identical round(s) before divergence\n",
+             static_cast<unsigned long long>(d.rounds_compared));
+  return out;
+}
+
+std::string bisect_json(const FlightDivergence& d) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "octbal-inspect-bisect-v1");
+  w.kv("diverged", d.diverged);
+  w.kv("round", d.round);
+  w.kv("phase_a", d.phase_a);
+  w.kv("phase_b", d.phase_b);
+  w.kv("what", d.what);
+  w.kv("label_a", d.label_a);
+  w.kv("label_b", d.label_b);
+  w.kv("rounds_compared", d.rounds_compared);
+  w.kv("edges_differing", d.edges_differing);
+  w.key("edges").begin_array();
+  for (const auto& e : d.edges) {
+    w.begin_object();
+    w.kv("from", e.from);
+    w.kv("to", e.to);
+    w.kv("a", e.a);
+    w.kv("b", e.b);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 std::string diff_json(const DiffResult& d, double tol) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/json_parse.hpp"
+#include "obs/report.hpp"
 
 namespace octbal::obs {
 
@@ -89,5 +90,48 @@ bool diff_reports(const JsonValue& base, const JsonValue& fresh, double tol,
 /// Render a DiffResult for humans (one line per mismatch) or as JSON.
 std::string render_diff(const DiffResult& d, double tol);
 std::string diff_json(const DiffResult& d, double tol);
+
+/// Parse every flight log in \p doc: the "runs" of a standalone
+/// `octbal-flight-v1` document, or the embedded "flight" members of a
+/// bench report's runs (labeled algo/pN when the log itself has no
+/// label).  Returns false and sets \p err when the document carries no
+/// flight data or a log is malformed.
+bool parse_flight(const JsonValue& doc, std::vector<FlightLog>* out,
+                  std::string* err);
+
+/// First-divergence verdict between two flight logs.  Deterministic: a
+/// pure function of the two logs.
+struct FlightDivergence {
+  bool diverged = false;
+  /// Earliest differing round index; -1 for a structural mismatch (rank
+  /// counts) that makes round pairing meaningless.
+  std::int64_t round = -1;
+  std::string phase_a, phase_b;  ///< phase labels at the divergent round
+  std::string what;              ///< one-line summary of the difference
+  struct EdgeDiff {
+    int from = -1, to = -1;
+    std::string a, b;  ///< rendered per-side content; "absent" when missing
+  };
+  std::vector<EdgeDiff> edges;        ///< offending edges (capped)
+  std::uint64_t edges_differing = 0;  ///< total differing edges at the round
+  std::uint64_t rounds_compared = 0;  ///< identical rounds before the verdict
+  std::string label_a, label_b;
+};
+
+/// Compare two flight logs round-by-round (phase label, then the sorted
+/// (from, to) edge sets with their digests) and report the earliest
+/// difference.  Identical traffic with different payload *capture* never
+/// diverges: the digests cover the payloads.
+FlightDivergence flight_bisect(const FlightLog& a, const FlightLog& b);
+
+/// Pretty text for `octbal_inspect flight`: per-log phase timeline
+/// (consecutive same-phase round ranges), heaviest edges, and digest
+/// spot-checks.
+std::string render_flight(const std::vector<FlightLog>& logs);
+
+/// Render a bisect verdict for humans or as JSON
+/// (schema octbal-inspect-bisect-v1).
+std::string render_bisect(const FlightDivergence& d);
+std::string bisect_json(const FlightDivergence& d);
 
 }  // namespace octbal::obs

@@ -1,6 +1,7 @@
 #include "obs/json_parse.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
@@ -91,6 +92,11 @@ class Parser {
         switch (s_[i_]) {
           case 'u':
             if (i_ + 4 >= s_.size()) return fail("short \\u escape");
+            for (int h = 1; h <= 4; ++h) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[i_ + h]))) {
+                return fail("bad \\u escape");
+              }
+            }
             i_ += 4;
             out += '?';
             break;
@@ -99,7 +105,10 @@ class Parser {
           case 'r': out += '\r'; break;
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
-          default: out += s_[i_];
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          default: return fail("bad escape");
         }
       } else {
         out += s_[i_];
@@ -171,8 +180,22 @@ class Parser {
             s_[end] == 'e' || s_[end] == 'E'))
       ++end;
     if (end == i_) return fail("unexpected character");
+    const std::string tok(s_.substr(i_, end - i_));
+    // JSON numbers start with '-' or a digit; strtod's wider grammar
+    // ("+1", ".5", "1e", "--2") must come back as structured errors, not
+    // silent zeros or infinities.
+    if (tok[0] != '-' && !std::isdigit(static_cast<unsigned char>(tok[0]))) {
+      return fail("bad number");
+    }
+    errno = 0;
+    char* endp = nullptr;
+    const double d = std::strtod(tok.c_str(), &endp);
+    if (endp != tok.c_str() + tok.size()) return fail("bad number");
+    if (errno == ERANGE && (d == HUGE_VAL || d == -HUGE_VAL)) {
+      return fail("number out of range");
+    }
     v.kind = JsonValue::Kind::kNumber;
-    v.num = std::strtod(std::string(s_.substr(i_, end - i_)).c_str(), nullptr);
+    v.num = d;
     i_ = end;
     return true;
   }
@@ -186,6 +209,10 @@ class Parser {
 
 bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
   if (error) error->clear();
+  // Callers routinely reuse one JsonValue across parse attempts; start
+  // from a blank value so a failed (or second) parse can never leak the
+  // previous document's strings or children into the result.
+  out = JsonValue{};
   return Parser(text, error).parse(out);
 }
 

@@ -5,10 +5,13 @@
 /// diffing, schema validation in tests).
 ///
 /// Deliberately minimal, mirroring obs/json.hpp on the write side: no
-/// external dependency, strings handled per RFC 8259 (\uXXXX escapes
-/// degrade to '?', which none of our documents contain), numbers parsed as
-/// doubles with an exact-integer view for counter fields.  Grew out of the
-/// MiniJsonParser that used to live in tests/test_obs.cpp.
+/// external dependency, strings handled per RFC 8259 (well-formed \uXXXX
+/// escapes degrade to '?', which none of our documents contain), numbers
+/// parsed as doubles with an exact-integer view for counter fields.
+/// Malformed input — truncated documents, invalid escapes, numbers that
+/// overflow a double — comes back as a structured (message, byte offset)
+/// error through json_parse's out-param, never an assert.  Grew out of
+/// the MiniJsonParser that used to live in tests/test_obs.cpp.
 
 #include <cstdint>
 #include <map>

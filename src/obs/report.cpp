@@ -1,6 +1,29 @@
 #include "obs/report.hpp"
 
+#include <cstdio>
+
 namespace octbal::obs {
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex_bytes(const std::vector<std::uint8_t>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  s.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    s += kDigits[b >> 4];
+    s += kDigits[b & 0xf];
+  }
+  return s;
+}
+
+}  // namespace
 
 void balance_report_json(JsonWriter& w, const BalanceReport& rep) {
   w.key("phases").begin_object();
@@ -77,6 +100,46 @@ void critical_path_json(JsonWriter& w,
     w.end_object();
   }
   w.end_array();
+}
+
+void flight_log_json(JsonWriter& w, const FlightLog& log) {
+  w.begin_object();
+  w.kv("label", log.label);
+  w.kv("ranks", log.ranks);
+  w.kv("rounds_truncated", log.rounds_truncated);
+  w.key("rounds").begin_array();
+  for (const auto& r : log.rounds) {
+    w.begin_object();
+    w.kv("phase", r.phase);
+    w.kv("messages", r.messages);
+    w.kv("bytes", r.bytes);
+    w.kv("digest", hex64(r.digest));
+    w.key("edges").begin_array();
+    for (const auto& e : r.edges) {
+      w.begin_array();
+      w.value(e.from).value(e.to).value(e.messages).value(e.bytes);
+      w.value(hex64(e.digest));
+      if (!e.payload.empty()) w.value(hex_bytes(e.payload));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string flight_doc_json(const std::vector<FlightLog>& logs,
+                            const std::string& source) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "octbal-flight-v1");
+  w.kv("source", source);
+  w.key("runs").begin_array();
+  for (const auto& log : logs) flight_log_json(w, log);
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 std::string balance_failure_json(const std::string& error, int ranks,

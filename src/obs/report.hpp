@@ -5,6 +5,7 @@
 /// format) and the failure path (diagnostic dump instead of an abort).
 
 #include <string>
+#include <vector>
 
 #include "comm/simcomm.hpp"
 #include "forest/balance.hpp"
@@ -27,6 +28,28 @@ void rounds_json(JsonWriter& w, const std::vector<SimComm::Round>& rounds);
 /// w.key("critical_path") first.
 void critical_path_json(JsonWriter& w,
                         const std::vector<SimComm::PhaseCost>& phases);
+
+/// One run's communication flight log with identifying context: what the
+/// SimComm flight recorder captured (per-round, per-edge counts and
+/// payload digests), labeled so two logs can be told apart in a bisect.
+/// Serialized inside bench run reports (member "flight") and as the "runs"
+/// entries of a standalone octbal-flight-v1 document; parse_flight()
+/// (obs/analysis) reads both back.
+struct FlightLog {
+  std::string label;
+  int ranks = 0;
+  std::uint64_t rounds_truncated = 0;  ///< rounds dropped by the edge budget
+  std::vector<SimComm::FlightRound> rounds;
+};
+
+/// Emit one flight log as a JSON object.  64-bit digests serialize as
+/// 16-digit hex strings: the DOM parser stores numbers as doubles, which
+/// cannot round-trip a uint64.
+void flight_log_json(JsonWriter& w, const FlightLog& log);
+
+/// A standalone octbal-flight-v1 document holding \p logs.
+std::string flight_doc_json(const std::vector<FlightLog>& logs,
+                            const std::string& source);
 
 /// Build the diagnostic report for a run whose result failed validation
 /// (e.g. an unbalanced forest): one self-contained JSON object with the

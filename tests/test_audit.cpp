@@ -193,6 +193,58 @@ TEST(Audit, ShrunkInputStaysValidForest) {
   EXPECT_TRUE(f.is_valid());
 }
 
+TEST(Audit, ShrinkPreservesDivergenceAttribution) {
+  // The shrinker disables attribution inside its eval loop (it would
+  // triple the cost of every probe) but must re-attribute the final
+  // shrunk case, so the reported round/edge points at the minimized
+  // repro's comm traffic.
+  CaseConfig cfg = random_case_config(9);
+  cfg.opt.inject = FaultInjection::kSkipInsulationNeighbor;
+  ASSERT_EQ(cfg.dim, 2);
+  const CaseData<2> data = make_case<2>(cfg);
+  const InvariantReport rep = Invariants::check<2>(cfg, data);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_GE(rep.divergent_round, 0) << rep.detail;
+  EXPECT_FALSE(rep.flight_doc.empty());
+  const ShrinkOutcome<2> s = Shrinker::shrink<2>(cfg, data, rep);
+  ASSERT_FALSE(s.report.ok);
+  EXPECT_GE(s.report.divergent_round, 0) << s.report.detail;
+  EXPECT_FALSE(s.report.divergent_edge.empty());
+  EXPECT_FALSE(s.report.flight_doc.empty());
+  EXPECT_NE(s.report.detail.find("comm divergence"), std::string::npos)
+      << s.report.detail;
+}
+
+TEST(Audit, AttributionCanBeDisabled) {
+  CaseConfig cfg = random_case_config(9);
+  cfg.opt.inject = FaultInjection::kSkipInsulationNeighbor;
+  cfg.attribute_divergence = false;
+  ASSERT_EQ(cfg.dim, 2);
+  const CaseData<2> data = make_case<2>(cfg);
+  const InvariantReport rep = Invariants::check<2>(cfg, data);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_EQ(rep.divergent_round, -1);
+  EXPECT_TRUE(rep.flight_doc.empty());
+  EXPECT_EQ(rep.detail.find("comm divergence"), std::string::npos)
+      << rep.detail;
+}
+
+TEST(Audit, FuzzReportCarriesAttribution) {
+  // The machine-readable sweep summary must expose the divergence so CI
+  // can upload the flight logs of failing seeds.
+  FuzzOptions opt;
+  opt.seeds = 1;
+  opt.seed0 = 9;
+  opt.inject = FaultInjection::kSkipInsulationNeighbor;
+  opt.shrink = false;
+  const FuzzSummary sum = Fuzzer(opt).run();
+  ASSERT_EQ(sum.failed, 1);
+  const std::string doc = fuzz_summary_json(opt, sum);
+  EXPECT_NE(doc.find("\"divergent_round\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"divergent_edge\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"octbal-flight-v1\""), std::string::npos);
+}
+
 TEST(Audit, CaseGenerationIsDeterministic) {
   for (std::uint64_t seed : {1ull, 42ull, 0xDEADull}) {
     const CaseConfig a = random_case_config(seed);

@@ -1,0 +1,401 @@
+/// \file test_flight.cpp
+/// \brief The comm flight recorder's contract: per-round, per-edge records
+/// with order-sensitive digests that are byte-identical for every thread
+/// count and delivery scramble, bounded by an edge budget, (almost) free
+/// when disabled, round-trippable through the octbal-flight-v1 schema, and
+/// — via the audit wiring — able to pin every fault-injection channel to a
+/// deterministic first-divergent round and edge.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/fuzzer.hpp"
+#include "audit/invariants.hpp"
+#include "comm/simcomm.hpp"
+#include "forest/balance.hpp"
+#include "obs/analysis.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/report.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+#include "workload/workloads.hpp"
+
+namespace octbal {
+namespace {
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(par::num_threads()) {}
+  ~ThreadGuard() { par::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+// ------------------------------------------------------- recorder basics --
+
+TEST(Flight, DisabledByDefault) {
+  SimComm c(2);
+  EXPECT_FALSE(c.flight_recording());
+  c.send(0, 1, bytes({1, 2, 3}));
+  c.deliver();
+  c.recv_all(1);
+  EXPECT_TRUE(c.flight().empty());
+  EXPECT_EQ(c.flight_truncated(), 0u);
+}
+
+TEST(Flight, RecordsRoundsWithSortedEdges) {
+  SimComm c(3);
+  c.set_flight_recording(true);
+  c.set_phase("alpha");
+  c.send(2, 0, bytes({9}));
+  c.send(0, 1, bytes({1, 2}));
+  c.send(0, 2, bytes({3}));
+  c.send(1, 2, bytes({4, 5, 6}));
+  c.deliver();
+  for (int r = 0; r < 3; ++r) c.recv_all(r);
+  c.set_phase("beta");
+  c.deliver();  // empty rounds are recorded too, keeping indices aligned
+
+  ASSERT_EQ(c.flight().size(), 2u);
+  const SimComm::FlightRound& r0 = c.flight()[0];
+  EXPECT_EQ(r0.phase, "alpha");
+  EXPECT_EQ(r0.messages, 4u);
+  EXPECT_EQ(r0.bytes, 7u);
+  ASSERT_EQ(r0.edges.size(), 4u);
+  for (std::size_t i = 1; i < r0.edges.size(); ++i) {
+    const auto& a = r0.edges[i - 1];
+    const auto& b = r0.edges[i];
+    EXPECT_TRUE(a.from < b.from || (a.from == b.from && a.to < b.to));
+  }
+  EXPECT_EQ(r0.edges[0].from, 0);
+  EXPECT_EQ(r0.edges[0].to, 1);
+  EXPECT_EQ(r0.edges[0].bytes, 2u);
+  EXPECT_NE(r0.digest, SimComm::kFlightDigestSeed);
+
+  const SimComm::FlightRound& r1 = c.flight()[1];
+  EXPECT_EQ(r1.phase, "beta");
+  EXPECT_EQ(r1.messages, 0u);
+  EXPECT_TRUE(r1.edges.empty());
+  EXPECT_EQ(r1.digest, SimComm::kFlightDigestSeed);
+}
+
+TEST(Flight, DigestIsDeterministicAndContentSensitive) {
+  const auto run = [](std::uint8_t last) {
+    SimComm c(2);
+    c.set_flight_recording(true);
+    c.send(0, 1, bytes({1, 2}));
+    c.send(0, 1, {3, last});
+    c.deliver();
+    c.recv_all(1);
+    return c.flight()[0];
+  };
+  const SimComm::FlightRound a = run(4), b = run(4), d = run(5);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.edges[0].digest, b.edges[0].digest);
+  EXPECT_NE(a.digest, d.digest) << "payload change must move the digest";
+
+  // Message framing is part of the chain: {1,2}+{3,4} != {1,2,3}+{4}.
+  SimComm c(2);
+  c.set_flight_recording(true);
+  c.send(0, 1, bytes({1, 2, 3}));
+  c.send(0, 1, bytes({4}));
+  c.deliver();
+  c.recv_all(1);
+  EXPECT_NE(c.flight()[0].edges[0].digest, a.edges[0].digest);
+}
+
+TEST(Flight, EdgeBudgetDropsWholeRounds) {
+  SimComm c(3);
+  c.set_flight_recording(true);
+  c.set_flight_record_limit(3);
+  c.send(0, 1, bytes({1}));
+  c.send(0, 2, bytes({2}));
+  c.deliver();  // 2 edges: fits
+  c.send(1, 0, bytes({3}));
+  c.send(1, 2, bytes({4}));
+  c.deliver();  // would make 4 cumulative edges: dropped whole
+  c.send(2, 0, bytes({5}));
+  c.deliver();  // 1 edge: 3 cumulative, fits again
+  for (int r = 0; r < 3; ++r) c.recv_all(r);
+  ASSERT_EQ(c.flight().size(), 2u);
+  EXPECT_EQ(c.flight_truncated(), 1u);
+  EXPECT_EQ(c.flight()[0].edges.size(), 2u);
+  EXPECT_EQ(c.flight()[1].edges.size(), 1u);
+  EXPECT_EQ(c.flight()[1].edges[0].from, 2);
+}
+
+TEST(Flight, PayloadCaptureHonorsBudget) {
+  SimComm c(2);
+  c.set_flight_recording(true);
+  c.set_flight_payload_limit(5);
+  c.send(0, 1, bytes({10, 11, 12}));
+  c.deliver();
+  c.recv_all(1);
+  c.send(0, 1, bytes({20, 21, 22}));
+  c.deliver();  // budget has 2 bytes left: capture truncates mid-message
+  c.recv_all(1);
+  ASSERT_EQ(c.flight().size(), 2u);
+  EXPECT_EQ(c.flight()[0].edges[0].payload, bytes({10, 11, 12}));
+  EXPECT_EQ(c.flight()[1].edges[0].payload, bytes({20, 21}));
+  // Counts and digests never depend on capture.
+  EXPECT_EQ(c.flight()[1].edges[0].bytes, 3u);
+}
+
+TEST(Flight, ResetStatsClearsTheLog) {
+  SimComm c(2);
+  c.set_flight_recording(true);
+  c.send(0, 1, bytes({1}));
+  c.deliver();
+  c.recv_all(1);
+  ASSERT_EQ(c.flight().size(), 1u);
+  c.reset_stats();
+  EXPECT_TRUE(c.flight().empty());
+  EXPECT_EQ(c.flight_truncated(), 0u);
+}
+
+TEST(Flight, DisabledRecorderOverheadIsTiny) {
+  // Same discipline as the disabled-span guard in test_obs: with the
+  // recorder off, the per-message cost is one predictable branch.  The
+  // bound is absurdly generous for a loaded CI box — it guards against
+  // accidentally adding an allocation or a map lookup to the disabled
+  // path, not against slow clocks.
+  SimComm c(2);
+  ASSERT_FALSE(c.flight_recording());
+  std::vector<std::uint8_t> payload(64, 7);
+  Timer t;
+  for (int i = 0; i < 20000; ++i) {
+    c.send(0, 1, payload);
+    c.deliver();
+    c.recv_all(1);
+  }
+  EXPECT_LT(t.seconds(), 2.0);
+}
+
+// ------------------------------------------- thread/scramble invariance --
+
+/// The Figure 15-style workload's flight document, recorded at \p threads
+/// pool threads (and optionally under a scrambled delivery order).
+std::string fig15_flight_doc(int threads, bool scramble) {
+  par::set_num_threads(threads);
+  Forest<3> f(Connectivity<3>::brick({3, 2, 1}), 8, 2);
+  fractal_refine(f, 3);
+  f.partition_uniform();
+  SimComm comm(8);
+  comm.set_flight_recording(true);
+  if (scramble) comm.set_scramble(42);
+  balance(f, BalanceOptions::new_config(), comm);
+  obs::FlightLog log{"fig15", 8, comm.flight_truncated(), comm.flight()};
+  return obs::flight_doc_json({log}, "test_flight");
+}
+
+TEST(Flight, ByteIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const std::string t1 = fig15_flight_doc(1, false);
+  const std::string t4 = fig15_flight_doc(4, false);
+  const std::string t8 = fig15_flight_doc(8, false);
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t1, t8);
+  EXPECT_NE(t1.find("\"schema\":\"octbal-flight-v1\""), std::string::npos);
+}
+
+TEST(Flight, ByteIdenticalUnderDeliveryScramble) {
+  // Digests chain over the canonical outbox walk, before the inbox
+  // scramble: a pure delivery-order change must not move the flight.
+  ThreadGuard guard;
+  EXPECT_EQ(fig15_flight_doc(2, false), fig15_flight_doc(2, true));
+}
+
+// ------------------------------------------------------ bisect semantics --
+
+obs::FlightLog synthetic_log(std::string label) {
+  obs::FlightLog log;
+  log.label = std::move(label);
+  log.ranks = 3;
+  for (int r = 0; r < 4; ++r) {
+    SimComm::FlightRound round;
+    round.phase = r < 2 ? "balance/queries" : "partition";
+    SimComm::FlightEdge e;
+    e.from = r % 2;
+    e.to = 2;
+    e.messages = 1;
+    e.bytes = 16;
+    e.digest = 0x1000u + static_cast<std::uint64_t>(r);
+    round.edges.push_back(e);
+    round.messages = 1;
+    round.bytes = 16;
+    round.digest = 0x2000u + static_cast<std::uint64_t>(r);
+    log.rounds.push_back(std::move(round));
+  }
+  return log;
+}
+
+TEST(FlightBisect, IdenticalLogsDoNotDiverge) {
+  const obs::FlightDivergence d =
+      obs::flight_bisect(synthetic_log("a"), synthetic_log("b"));
+  EXPECT_FALSE(d.diverged);
+  EXPECT_EQ(d.rounds_compared, 4u);
+  EXPECT_NE(obs::render_bisect(d).find("IDENTICAL"), std::string::npos);
+}
+
+TEST(FlightBisect, ReportsEarliestDifferingRoundAndEdge) {
+  obs::FlightLog a = synthetic_log("clean");
+  obs::FlightLog b = synthetic_log("injected");
+  b.rounds[2].digest ^= 1;
+  b.rounds[2].edges[0].digest ^= 1;
+  b.rounds[3].digest ^= 1;  // later damage must not win
+  const obs::FlightDivergence d = obs::flight_bisect(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.round, 2);
+  EXPECT_EQ(d.phase_a, "partition");
+  ASSERT_EQ(d.edges.size(), 1u);
+  EXPECT_EQ(d.edges[0].from, 0);
+  EXPECT_EQ(d.edges[0].to, 2);
+  EXPECT_EQ(d.rounds_compared, 2u);
+  const std::string json = obs::bisect_json(d);
+  EXPECT_NE(json.find("\"schema\":\"octbal-inspect-bisect-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"round\":2"), std::string::npos);
+}
+
+TEST(FlightBisect, RoundCountMismatchDivergesAtTheShorterLength) {
+  obs::FlightLog a = synthetic_log("a");
+  obs::FlightLog b = synthetic_log("b");
+  b.rounds.pop_back();
+  const obs::FlightDivergence d = obs::flight_bisect(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.round, 3);
+}
+
+TEST(FlightBisect, RankMismatchIsStructural) {
+  obs::FlightLog a = synthetic_log("a");
+  obs::FlightLog b = synthetic_log("b");
+  b.ranks = 4;
+  const obs::FlightDivergence d = obs::flight_bisect(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.round, -1);
+}
+
+// ------------------------------------------------------- JSON round trip --
+
+TEST(Flight, DocRoundTripsThroughParser) {
+  SimComm c(3);
+  c.set_flight_recording(true);
+  c.set_flight_payload_limit(4);
+  c.set_phase("alpha");
+  c.send(0, 1, bytes({1, 2}));
+  c.send(2, 1, bytes({3}));
+  c.deliver();
+  for (int r = 0; r < 3; ++r) c.recv_all(r);
+  obs::FlightLog log{"trip", 3, c.flight_truncated(), c.flight()};
+  const std::string doc = obs::flight_doc_json({log}, "test_flight");
+
+  obs::JsonValue parsed;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(doc, parsed, &err)) << err;
+  std::vector<obs::FlightLog> logs;
+  ASSERT_TRUE(obs::parse_flight(parsed, &logs, &err)) << err;
+  ASSERT_EQ(logs.size(), 1u);
+  EXPECT_EQ(logs[0].label, "trip");
+  EXPECT_EQ(logs[0].ranks, 3);
+  ASSERT_EQ(logs[0].rounds.size(), 1u);
+  const auto& want = log.rounds[0];
+  const auto& got = logs[0].rounds[0];
+  EXPECT_EQ(got.phase, want.phase);
+  EXPECT_EQ(got.messages, want.messages);
+  EXPECT_EQ(got.bytes, want.bytes);
+  EXPECT_EQ(got.digest, want.digest);  // 64-bit survives the hex encoding
+  ASSERT_EQ(got.edges.size(), want.edges.size());
+  for (std::size_t i = 0; i < got.edges.size(); ++i) {
+    EXPECT_EQ(got.edges[i].from, want.edges[i].from);
+    EXPECT_EQ(got.edges[i].to, want.edges[i].to);
+    EXPECT_EQ(got.edges[i].digest, want.edges[i].digest);
+    EXPECT_EQ(got.edges[i].payload, want.edges[i].payload);
+  }
+  // Round-tripped logs bisect as identical.
+  EXPECT_FALSE(obs::flight_bisect(log, logs[0]).diverged);
+}
+
+// ------------------------------------- fault-channel pinned attributions --
+// One test per injection channel: the audit battery must localize the
+// defect to the same first-divergent round and edge on every run.  The
+// pinned values are the channels' observable signatures — a change here
+// means the fault's comm footprint moved, which is worth noticing.
+
+audit::FuzzFailure pinned_failure(std::uint64_t seed, FaultInjection inject) {
+  audit::FuzzOptions opt;
+  opt.inject = inject;
+  opt.shrink = false;
+  audit::CaseConfig cfg = audit::random_case_config(seed);
+  cfg.opt.inject = inject;
+  audit::FuzzFailure f;
+  EXPECT_FALSE(audit::Fuzzer(opt).run_case(cfg, &f));
+  return f;
+}
+
+void expect_doc_bisects_to(const audit::FuzzFailure& f) {
+  obs::JsonValue parsed;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(f.flight_doc, parsed, &err)) << err;
+  std::vector<obs::FlightLog> logs;
+  ASSERT_TRUE(obs::parse_flight(parsed, &logs, &err)) << err;
+  ASSERT_EQ(logs.size(), 2u);
+  const obs::FlightDivergence d = obs::flight_bisect(logs[0], logs[1]);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.round, f.divergent_round);
+}
+
+TEST(FlightAttribution, SkipInsulationNeighborPinsRoundAndEdge) {
+  const audit::FuzzFailure f =
+      pinned_failure(9, FaultInjection::kSkipInsulationNeighbor);
+  EXPECT_EQ(f.invariant, "balance") << f.detail;
+  EXPECT_EQ(f.divergent_round, 2) << f.detail;
+  EXPECT_EQ(f.divergent_phase, "balance/queries");
+  EXPECT_EQ(f.divergent_edge, "0->1");
+  expect_doc_bisects_to(f);
+}
+
+TEST(FlightAttribution, OrderDependentReducePinsRoundAndEdge) {
+  const audit::FuzzFailure f =
+      pinned_failure(173, FaultInjection::kOrderDependentReduce);
+  EXPECT_EQ(f.invariant, "scramble_invariance") << f.detail;
+  EXPECT_EQ(f.divergent_round, 5) << f.detail;
+  EXPECT_EQ(f.divergent_phase, "partition");
+  EXPECT_EQ(f.divergent_edge, "2->3");
+  expect_doc_bisects_to(f);
+}
+
+TEST(FlightAttribution, StaleMarkerNudgePinsRoundAndEdge) {
+  // The stale index misroutes the *next* repartition exchange: the
+  // divergence sits in the second partition round, which is exactly the
+  // "moved the data, forgot the index" postmortem the README walks
+  // through.
+  const audit::FuzzFailure f =
+      pinned_failure(18, FaultInjection::kStaleMarkerNudge);
+  EXPECT_EQ(f.invariant, "repartition/preserves_content") << f.detail;
+  EXPECT_EQ(f.divergent_round, 3) << f.detail;
+  EXPECT_EQ(f.divergent_phase, "partition");
+  EXPECT_EQ(f.divergent_edge, "1->0");
+  expect_doc_bisects_to(f);
+}
+
+TEST(FlightAttribution, DetailCarriesTheDivergenceSummary) {
+  const audit::FuzzFailure f =
+      pinned_failure(9, FaultInjection::kSkipInsulationNeighbor);
+  EXPECT_NE(f.detail.find("comm divergence (clean vs injected)"),
+            std::string::npos)
+      << f.detail;
+  EXPECT_NE(f.detail.find("first at round 2"), std::string::npos) << f.detail;
+}
+
+}  // namespace
+}  // namespace octbal

@@ -90,6 +90,56 @@ TEST(JsonParse, ValuesEscapesAndErrors) {
   EXPECT_FALSE(obs::json_parse("\"unterminated", v, &err));
 }
 
+TEST(JsonParse, TruncatedDocumentsReturnStructuredErrors) {
+  // Every truncation point of a well-formed document must produce a
+  // structured error (message + byte offset), never an assert or a crash.
+  const std::string whole =
+      R"({"a":[1,{"b":"cA"},true],"d":-2.5e3,"e":null})";
+  JsonValue v;
+  std::string err;
+  for (std::size_t n = 0; n < whole.size(); ++n) {
+    err.clear();
+    if (obs::json_parse(whole.substr(0, n), v, &err)) {
+      ADD_FAILURE() << "prefix of length " << n << " parsed as complete";
+    } else {
+      EXPECT_NE(err.find("at byte"), std::string::npos)
+          << "prefix " << n << ": " << err;
+    }
+  }
+  EXPECT_TRUE(obs::json_parse(whole, v, &err)) << err;
+}
+
+TEST(JsonParse, BadEscapesAreRejected) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(obs::json_parse(R"("bad \q escape")", v, &err));
+  EXPECT_NE(err.find("escape"), std::string::npos) << err;
+  EXPECT_FALSE(obs::json_parse(R"("bad \u12zz unicode")", v, &err));
+  EXPECT_NE(err.find("\\u"), std::string::npos) << err;
+  EXPECT_FALSE(obs::json_parse(R"("bad \u12)", v, &err));
+  // The escapes the writer emits still round-trip.
+  ASSERT_TRUE(obs::json_parse(R"("ok \" \\ \/ \b \f \n \r \t A")", v,
+                              &err))
+      << err;
+  EXPECT_EQ(v.str, "ok \" \\ / \b \f \n \r \t A");
+}
+
+TEST(JsonParse, NumericOverflowAndMalformedNumbers) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(obs::json_parse("1e400", v, &err));
+  EXPECT_NE(err.find("range"), std::string::npos) << err;
+  EXPECT_FALSE(obs::json_parse("-1e400", v, &err));
+  EXPECT_FALSE(obs::json_parse("+5", v, &err));
+  EXPECT_FALSE(obs::json_parse("[1, 2e]", v, &err));
+  EXPECT_NE(err.find("number"), std::string::npos) << err;
+  // Large-but-representable values still parse.
+  ASSERT_TRUE(obs::json_parse("1e308", v, &err)) << err;
+  EXPECT_DOUBLE_EQ(v.num, 1e308);
+  ASSERT_TRUE(obs::json_parse("[1.5e+3, -0.25]", v, &err)) << err;
+  EXPECT_DOUBLE_EQ(v.arr[0].num, 1500.0);
+}
+
 // ----------------------------------------------------- golden round-trip --
 
 TEST(Inspect, ReportRoundTripsThroughParser) {
@@ -527,6 +577,53 @@ TEST(Inspect, RoundRecordCapTruncatesButKeepsAttribution) {
     EXPECT_EQ(cp_capped[i].rounds, cp_full[i].rounds);
     EXPECT_EQ(cp_capped[i].time, cp_full[i].time);
   }
+}
+
+// ------------------------------------------------------------ flight logs --
+
+TEST(Inspect, BenchReportEmbedsAndParsesFlightLogs) {
+  // With the process-wide flight default on (what --flight sets), the
+  // harness's internally constructed communicators record, the report
+  // grows a per-run "flight" member, and parse_flight finds it with the
+  // algo/pN fallback label.
+  SimComm::set_flight_default(true);
+  const auto build = [&](int p) {
+    Forest<3> f(Connectivity<3>::brick({2, 1, 1}), p, 2);
+    fractal_refine(f, 3);
+    f.partition_uniform();
+    return f;
+  };
+  const RunResult r = run_balance<3>(build, 4, BalanceOptions::new_config());
+  SimComm::set_flight_default(false);
+  ASSERT_FALSE(r.flight.empty());
+  char prog[] = "test_inspect";
+  char* argv[] = {prog};
+  const Cli cli(1, argv);
+  BenchReport report("flight_embed", cli);
+  report.add("new", r);
+  const JsonValue doc = parse_ok(report.json());
+
+  std::vector<obs::FlightLog> logs;
+  std::string err;
+  ASSERT_TRUE(obs::parse_flight(doc, &logs, &err)) << err;
+  ASSERT_EQ(logs.size(), 1u);
+  EXPECT_EQ(logs[0].label, "new/p4");
+  EXPECT_EQ(logs[0].ranks, 4);
+  EXPECT_EQ(logs[0].rounds.size(), r.flight.size());
+  const std::string rendered = obs::render_flight(logs);
+  EXPECT_NE(rendered.find("new/p4"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("top edges"), std::string::npos) << rendered;
+
+  // A report with no flight members is a structured parse error, not a
+  // crash or an empty success.
+  SimComm::set_flight_default(false);
+  const RunResult bare = run_balance<3>(build, 4,
+                                        BalanceOptions::new_config());
+  BenchReport bare_report("no_flight", cli);
+  bare_report.add("new", bare);
+  logs.clear();
+  EXPECT_FALSE(obs::parse_flight(parse_ok(bare_report.json()), &logs, &err));
+  EXPECT_FALSE(err.empty());
 }
 
 // -------------------------------------------------------------- renderers --
