@@ -38,8 +38,23 @@ namespace octbal {
 /// message counts, byte volumes and the α–β modeled time are identical for
 /// every thread count, so speedup rows are directly comparable.
 inline int configure_threads(const Cli& cli) {
-  const int want = static_cast<int>(cli.get_int("threads", 0));
-  if (want > 0) par::set_num_threads(want);
+  // Pool sizes beyond any plausible core count are almost certainly typos
+  // (and would actually spawn that many OS threads); clamp with a warning
+  // like the other validated flags.
+  constexpr long long kMaxThreads = 1024;
+  long long want = cli.get_int("threads", 0);
+  if (want < 0) {
+    std::fprintf(stderr,
+                 "--threads %lld: thread count must be >= 1 (0 keeps the "
+                 "OCTBAL_THREADS / hardware default); ignoring\n",
+                 want);
+    want = 0;
+  } else if (want > kMaxThreads) {
+    std::fprintf(stderr, "--threads %lld: clamping to %lld\n", want,
+                 kMaxThreads);
+    want = kMaxThreads;
+  }
+  if (want > 0) par::set_num_threads(static_cast<int>(want));
   const int used = par::num_threads();
   std::printf("rank execution: %d thread%s (--threads N or OCTBAL_THREADS "
               "to override)\n",

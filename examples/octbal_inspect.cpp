@@ -169,6 +169,12 @@ int main(int argc, char** argv) {
     const FlightDivergence d = flight_bisect(a.front(), b.front());
     std::fputs((as_json ? bisect_json(d) : render_bisect(d)).c_str(), stdout);
     if (as_json) std::fputs("\n", stdout);
+    if (d.truncated) {
+      std::fprintf(stderr,
+                   "octbal_inspect: refusing to bisect past a truncation "
+                   "point (raise the record limit and re-capture)\n");
+      return 2;
+    }
     return d.diverged ? 1 : 0;
   }
   if (std::strcmp(cmd, "diff") == 0) {

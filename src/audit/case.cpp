@@ -90,6 +90,11 @@ CaseConfig random_case_config(std::uint64_t seed, Tier tier) {
   // Appending draws to this stream is safe for the same reason the stream
   // exists; search = 0 exercises the descent-disabled diffusive path.
   c.repartition_search = rng2.chance(0.25) ? 0 : 1 + static_cast<int>(rng2.below(4));
+  // Churn lifecycle dimensions: random refine/coarsen batches after the
+  // main balance, each checked delta-vs-full ("churn/delta_equiv").
+  c.churn_steps =
+      rng2.chance(0.35) ? 1 + static_cast<int>(rng2.below(3)) : 0;
+  c.churn_coarsen = rng2.chance(0.7);
   return c;
 }
 
@@ -147,6 +152,10 @@ std::string describe(const CaseConfig& c) {
        << " repart_rounds=" << c.repartition_rounds
        << " max_nudge=" << c.repartition_max_nudge
        << " search=" << c.repartition_search;
+  }
+  if (c.churn_steps > 0) {
+    os << " churn=" << c.churn_steps
+       << " churn_coarsen=" << (c.churn_coarsen ? 1 : 0);
   }
   os << " subtree="
      << (c.opt.subtree == SubtreeAlgo::kNew ? "new" : "old")

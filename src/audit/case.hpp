@@ -86,6 +86,13 @@ struct CaseConfig {
   int repartition_max_nudge = 8;
   int repartition_search = 4;
 
+  /// Churn lifecycle dimension: run this many random refine(+coarsen)
+  /// batches on the balanced forest, each followed by a delta_balance that
+  /// must be byte-identical to a full balance() of the same churned forest
+  /// (the "churn/delta_equiv" invariant).  0 disables the block.
+  int churn_steps = 0;
+  bool churn_coarsen = true;  ///< include a 2:1-veto'd coarsen per batch
+
   /// Pipeline switches for the main run (opt.k is kept equal to k above;
   /// opt.inject is the fault-injection channel for self-tests).
   BalanceOptions opt{};

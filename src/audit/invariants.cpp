@@ -6,6 +6,7 @@
 #include "core/linear.hpp"
 #include "core/ripple.hpp"
 #include "core/seeds.hpp"
+#include "forest/delta_balance.hpp"
 #include "obs/analysis.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -302,6 +303,72 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
       return attributed(InvariantReport::fail(
           "repartition/preserves_content",
           "2:1 balance verdict changed across repartition"));
+    }
+  }
+
+  // Incremental equivalence: churn_steps random refine(+veto'd coarsen)
+  // batches on a balanced forest, each followed by a delta_balance of the
+  // live forest that must be byte-identical — per-rank arrays and markers
+  // — to a full balance() of a copy of the same churned forest.  Runs with
+  // the fault channel stripped (like run_pipeline): the block certifies
+  // the delta scheme against the pipeline, not the injection machinery,
+  // and an injected main balance could break delta_balance's balanced-
+  // precondition.
+  if (cfg.churn_steps > 0) {
+    BalanceOptions copt = cfg.opt;
+    copt.inject = FaultInjection::kNone;
+    Forest<D> f(data.conn, cfg.ranks, data.leaves);
+    switch (cfg.partition) {
+      case PartitionKind::kEven:
+        break;
+      case PartitionKind::kUniform:
+        f.partition_uniform();
+        break;
+      case PartitionKind::kWeighted:
+        f.partition_weighted(
+            [](const TreeOct<D>& to) { return 1 + to.oct.level; });
+        break;
+    }
+    {
+      SimComm comm(cfg.ranks);
+      if (cfg.scramble) comm.set_scramble(cfg.seed);
+      balance(f, copt, comm);
+    }
+    f.clear_dirty();
+    Rng crng(cfg.seed ^ 0x5EED0FDE17AC4B05ull);
+    for (int s = 0; s < cfg.churn_steps; ++s) {
+      if (cfg.churn_coarsen) {
+        f.coarsen([&](const TreeOct<D>&) { return crng.chance(0.35); },
+                  cfg.k);
+      }
+      f.refine(
+          [&](const TreeOct<D>& to) {
+            return to.oct.level < cfg.lmax && crng.chance(0.15);
+          },
+          false);
+      Forest<D> ref = f;
+      ref.clear_dirty();
+      SimComm fc(cfg.ranks);
+      if (cfg.scramble) fc.set_scramble(cfg.seed);
+      balance(ref, copt, fc);
+      SimComm dc(cfg.ranks);
+      if (cfg.scramble) dc.set_scramble(cfg.seed + s + 1);
+      delta_balance(f, copt, dc);
+      for (int r = 0; r < cfg.ranks; ++r) {
+        if (!(f.local(r) == ref.local(r))) {
+          return InvariantReport::fail(
+              "churn/delta_equiv",
+              "delta_balance diverged from full balance at churn step " +
+                  std::to_string(s) + ", rank " + std::to_string(r) + ": " +
+                  first_diff<D>(f.local(r), ref.local(r)));
+        }
+      }
+      if (f.markers() != ref.markers()) {
+        return InvariantReport::fail(
+            "churn/delta_equiv",
+            "partition markers diverged from full balance at churn step " +
+                std::to_string(s));
+      }
     }
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/linear.hpp"
+
 namespace octbal::audit {
 namespace {
 
@@ -45,6 +47,30 @@ std::vector<TreeOct<D>> candidates_at(const std::vector<TreeOct<D>>& lv,
     while (j < anc.size() && anc[j] == anc[i]) ++j;
     if (j - i >= 2) out.push_back(anc[i]);
     i = j;
+  }
+  return out;
+}
+
+/// Re-complete a window of the (sorted) forest leaf set back into a full
+/// forest tiling: per tree, the kept octants are completed to a coarsest
+/// tiling of the tree root; trees with no kept octant come back as a bare
+/// root.  The result contains every kept leaf and is valid Forest input.
+template <int D>
+std::vector<TreeOct<D>> complete_window(const std::vector<TreeOct<D>>& keep,
+                                        int ntrees) {
+  std::vector<TreeOct<D>> out;
+  out.reserve(keep.size());
+  std::size_t i = 0;
+  for (int tr = 0; tr < ntrees; ++tr) {
+    std::vector<Octant<D>> in_tree;
+    while (i < keep.size() && keep[i].tree == tr) in_tree.push_back(keep[i++].oct);
+    if (in_tree.empty()) {
+      out.push_back(TreeOct<D>{tr, root_octant<D>()});
+      continue;
+    }
+    for (const auto& o : complete<D>(in_tree, root_octant<D>())) {
+      out.push_back(TreeOct<D>{tr, o});
+    }
   }
   return out;
 }
@@ -137,6 +163,34 @@ ShrinkOutcome<D> Shrinker::shrink(const CaseConfig& cfg,
     if (fails_same(c, out.leaves, &out.report)) {
       out.cfg = c;
       break;
+    }
+  }
+
+  // SFC leaf-set bisection: deep 3D cases often fail inside one small
+  // window of the space-filling curve, and pure ancestor collapse walks
+  // there one accepted coarsening at a time.  Halve the sorted leaf set
+  // along the curve, re-complete each half into a full forest tiling
+  // (the dropped window comes back as coarse filler), and keep whichever
+  // half still fails — O(log n) evals per order of magnitude removed,
+  // which matters under tight eval budgets where collapse alone stalls
+  // far from the minimum.
+  bool split = true;
+  while (split && out.evals < max_evals && out.leaves.size() >= 4) {
+    split = false;
+    const auto mid =
+        out.leaves.begin() + static_cast<std::ptrdiff_t>(out.leaves.size() / 2);
+    for (int half = 0; half < 2 && !split; ++half) {
+      const std::vector<TreeOct<D>> keep(
+          half == 0 ? out.leaves.begin() : mid,
+          half == 0 ? mid : out.leaves.end());
+      auto lv = complete_window<D>(keep, data.conn.num_trees());
+      if (lv.size() >= out.leaves.size()) continue;
+      InvariantReport r;
+      if (fails_same(out.cfg, lv, &r)) {
+        out.leaves = std::move(lv);
+        out.report = std::move(r);
+        split = true;
+      }
     }
   }
 

@@ -2,12 +2,14 @@
 /// \file shrinker.hpp
 /// \brief Greedy failure minimization for fuzz cases.  Given a case that
 /// fails an invariant, repeatedly simplify the configuration (disable
-/// scramble, drop to fewer ranks, simpler partition) and coarsen the input
-/// leaves (whole trees to their root, then subtrees to their common
-/// ancestor, coarsest candidates first), accepting a step only when the
-/// *same* invariant still fails.  Every intermediate leaf set stays a
-/// valid forest input: replacing the complete cover of an ancestor by the
-/// ancestor itself preserves per-tree completeness by construction.
+/// scramble, drop to fewer ranks, simpler partition), bisect the leaf set
+/// along the SFC (keep the re-completed half that still fails), and
+/// coarsen the input leaves (whole trees to their root, then subtrees to
+/// their common ancestor, coarsest candidates first), accepting a step
+/// only when the *same* invariant still fails.  Every intermediate leaf
+/// set stays a valid forest input: replacing the complete cover of an
+/// ancestor by the ancestor itself preserves per-tree completeness, and
+/// the bisected halves are re-completed with the paper's Complete.
 
 #include <string>
 #include <vector>

@@ -187,8 +187,14 @@ void SimComm::deliver() {
   round.mean_time = mean;
   round.slack = worst * static_cast<double>(per_rank.size()) - sum;
   round.phase = phase_;
+  // Both recorders keep a *contiguous prefix* of the round sequence: once
+  // a round exceeds the budget, recording stops for good.  Admitting a
+  // smaller later round after a drop would leave interior gaps, and a
+  // gapped log bisects to a bogus first divergence (the comparison would
+  // pair round i of one log with round j!=i of the other).
   if (record_rounds_) {
-    if (recorded_entries_ + round.entries.size() <= round_record_limit_) {
+    if (rounds_truncated_ == 0 &&
+        recorded_entries_ + round.entries.size() <= round_record_limit_) {
       recorded_entries_ += round.entries.size();
       rounds_.push_back(std::move(round));
     } else {
@@ -197,7 +203,8 @@ void SimComm::deliver() {
   }
   if (flight_record_) {
     fround.phase = phase_;
-    if (flight_recorded_edges_ + fround.edges.size() <= flight_record_limit_) {
+    if (flight_truncated_ == 0 &&
+        flight_recorded_edges_ + fround.edges.size() <= flight_record_limit_) {
       flight_recorded_edges_ += fround.edges.size();
       flight_.push_back(std::move(fround));
     } else {

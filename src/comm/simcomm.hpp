@@ -87,6 +87,18 @@ class SimComm {
     return per_rank;
   }
 
+  /// Allreduce (sum): every rank contributes one value, every rank ends up
+  /// with the global sum.  Cost: a single element through the reduction
+  /// tree — the cheapest global agreement the engine offers, used e.g. as
+  /// the per-round termination consensus of delta_balance().
+  template <typename T>
+  T allreduce_sum(const std::vector<T>& per_rank) {
+    charge_collective(sizeof(T) * (size() - 1));
+    T sum{};
+    for (const T& v : per_rank) sum += v;
+    return sum;
+  }
+
   /// Allgatherv: concatenate per-rank buffers on every rank.  Returns the
   /// concatenation plus offsets.  Cost: full replication of all data.
   template <typename T>
@@ -149,8 +161,10 @@ class SimComm {
   void set_record_rounds(bool on) { record_rounds_ = on; }
 
   /// Cap the cumulative number of recorded (from, to) edges across all
-  /// rounds (default 1M ≈ 24 MB worst case).  Rounds past the budget are
-  /// dropped from rounds() but still counted by rounds_truncated(), so
+  /// rounds (default 1M ≈ 24 MB worst case).  Recording stops permanently
+  /// at the first round that exceeds the budget — rounds() is always a
+  /// contiguous prefix of the round sequence (no interior gaps), and every
+  /// dropped round from then on is counted by rounds_truncated(), so
   /// reports can say "N rounds not recorded" instead of lying by omission.
   /// Critical-path aggregation (critical_path()) is unaffected by the cap.
   void set_round_record_limit(std::size_t max_entries) {
@@ -278,8 +292,10 @@ class SimComm {
   bool flight_recording() const { return flight_record_; }
 
   /// Cap the cumulative number of recorded flight edges across all rounds
-  /// (default 1M, mirroring set_round_record_limit()).  Rounds past the
-  /// budget are dropped from flight() but counted by flight_truncated().
+  /// (default 1M, mirroring set_round_record_limit()).  Recording stops
+  /// permanently at the first round that exceeds the budget, so flight()
+  /// is always a contiguous prefix; every round dropped from then on is
+  /// counted by flight_truncated().
   void set_flight_record_limit(std::size_t max_edges) {
     flight_record_limit_ = max_edges;
   }

@@ -1,0 +1,55 @@
+#include "core/region.hpp"
+
+#include <algorithm>
+
+#include "core/neighborhood.hpp"
+
+namespace octbal {
+
+template <int D>
+std::vector<Octant<D>> envelope_pieces(const Octant<D>& o) {
+  std::vector<Octant<D>> pieces;
+  pieces.reserve(full_offsets<D>().size() + 1);
+  pieces.push_back(o);
+  Octant<D> n;
+  for (const auto& off : full_offsets<D>()) {
+    if (neighbor_in_root<D>(o, off, &n)) pieces.push_back(n);
+  }
+  return pieces;
+}
+
+template <int D>
+std::vector<Octant<D>> dirty_region_cover(
+    const std::vector<Octant<D>>& dirty) {
+  std::vector<Octant<D>> pieces;
+  pieces.reserve(dirty.size() * (full_offsets<D>().size() + 1));
+  Octant<D> n;
+  for (const auto& o : dirty) {
+    pieces.push_back(o);
+    for (const auto& off : full_offsets<D>()) {
+      if (neighbor_in_root<D>(o, off, &n)) pieces.push_back(n);
+    }
+  }
+  std::sort(pieces.begin(), pieces.end());
+  // Keep the coarsest pieces.  In Morton preorder a container sorts before
+  // everything it contains, and any earlier non-adjacent container would
+  // also contain the intervening kept piece — so comparing against the
+  // last kept piece alone is exact (the dual of Linearize).
+  std::vector<Octant<D>> out;
+  for (const auto& p : pieces) {
+    if (!out.empty() && contains(out.back(), p)) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                       \
+  template std::vector<Octant<D>> envelope_pieces<D>(const Octant<D>&); \
+  template std::vector<Octant<D>> dirty_region_cover<D>(             \
+      const std::vector<Octant<D>>&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -86,6 +86,25 @@ struct FrameTransform {
     return r;
   }
 
+  /// The inverse map (source frame → neighbor frame):
+  /// t.inverse().apply(t.apply(o)) == o for every octant o.  Solving the
+  /// forward form x_source[i] = offset[i] + sign[i] * x_neighbor[perm[i]]
+  /// for x_neighbor gives, with j = perm[i]:
+  ///   x_neighbor[j] = sign[i] * x_source[i] - sign[i] * offset[i]
+  /// and the anchor correction for reflected axes is symmetric, so the
+  /// inverse is again a FrameTransform.
+  FrameTransform inverse() const {
+    FrameTransform t;
+    for (int i = 0; i < D; ++i) {
+      const int j = perm[i];
+      t.perm[j] = static_cast<std::int8_t>(i);
+      t.sign[j] = sign[i];
+      t.offset[j] =
+          sign[i] > 0 ? static_cast<scoord_t>(-offset[i]) : offset[i];
+    }
+    return t;
+  }
+
   /// Composition: (this ∘ other), i.e. first map by \p other, then this.
   FrameTransform compose(const FrameTransform& other) const {
     FrameTransform t;

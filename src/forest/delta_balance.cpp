@@ -1,0 +1,318 @@
+#include "forest/delta_balance.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <iterator>
+#include <map>
+
+#include "core/linear.hpp"
+#include "core/neighborhood.hpp"
+#include "core/region.hpp"
+#include "forest/span.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
+namespace octbal {
+namespace {
+
+using detail::clip_to_span;
+using detail::tree_runs;
+
+/// Re-balance every run of \p mine whose tree has auxiliary constraints:
+/// whole-run input + aux, coarsest balanced refinement, clipped back to
+/// the run's span (the old-scheme phase-4 mechanism).  Appends the leaves
+/// the re-balance created to \p created.
+template <int D>
+void rebalance_with_aux(std::vector<TreeOct<D>>& mine,
+                        const std::map<std::int32_t, std::vector<Octant<D>>>& aux,
+                        const BalanceOptions& opt, int k,
+                        std::vector<TreeOct<D>>& created) {
+  if (aux.empty()) return;
+  const auto root = root_octant<D>();
+  std::vector<TreeOct<D>> out;
+  out.reserve(mine.size());
+  for (const auto& [i, j] : tree_runs(mine)) {
+    const std::int32_t tree = mine[i].tree;
+    const auto it = aux.find(tree);
+    if (it == aux.end()) {
+      out.insert(out.end(), mine.begin() + i, mine.begin() + j);
+      continue;
+    }
+    std::vector<Octant<D>> input;
+    input.reserve(j - i + it->second.size());
+    for (std::size_t q = i; q < j; ++q) input.push_back(mine[q].oct);
+    const Octant<D> first = input.front(), last = input.back();
+    input.insert(input.end(), it->second.begin(), it->second.end());
+    std::sort(input.begin(), input.end());
+    linearize(input);
+    const auto bal = balance_subtree(opt.subtree, input, k, root);
+    const std::size_t w0 = out.size();
+    clip_to_span(bal, first, last, tree, out);
+    std::set_difference(out.begin() + static_cast<std::ptrdiff_t>(w0),
+                        out.end(), mine.begin() + i, mine.begin() + j,
+                        std::back_inserter(created));
+  }
+  mine.swap(out);
+}
+
+}  // namespace
+
+template <int D>
+DeltaBalanceReport delta_balance(Forest<D>& f, const BalanceOptions& opt,
+                                 SimComm& comm) {
+  OBS_SPAN("delta_balance");
+  const int P = f.num_ranks();
+  const int k = opt.k == 0 ? D : opt.k;
+  assert(1 <= k && k <= D);
+  const auto& conn = f.connectivity();
+  DeltaBalanceReport rep;
+  rep.octants_before = f.global_num_octants();
+  rep.dirty_logged = f.dirty().size();
+  const CommStats stats0 = comm.stats();
+  const std::string phase0 = comm.phase();
+
+  obs::Metrics& met = comm.metrics();
+  obs::Counter& c_dirty = met.counter("churn/dirty_octants");
+  obs::Counter& c_region = met.counter("churn/dirty_region");
+  obs::Counter& c_sent = met.counter("churn/constraints_sent");
+  obs::Counter& c_created = met.counter("churn/octants_created");
+  obs::Counter& c_rounds = met.counter("churn/delta_rounds");
+
+  // Validate the dirty log against the current leaves: entries split or
+  // collapsed away by a later batch are gone; the survivors, assigned to
+  // their current owners, are the first frontier.  (The log is global, so
+  // a repartition between the churn batch and this call just moves the
+  // entry to its new owner's intersection.)
+  std::vector<TreeOct<D>> dirty = f.dirty();
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  std::vector<std::vector<TreeOct<D>>> frontier(P);
+  par::parallel_for_ranks(P, [&](int r) {
+    const auto& mine = f.local(r);
+    std::set_intersection(dirty.begin(), dirty.end(), mine.begin(),
+                          mine.end(), std::back_inserter(frontier[r]));
+  });
+  std::vector<TreeOct<D>> validated;
+  for (int r = 0; r < P; ++r) {
+    rep.dirty_validated += frontier[r].size();
+    c_dirty.add(r, frontier[r].size());
+    validated.insert(validated.end(), frontier[r].begin(), frontier[r].end());
+  }
+
+  // Dirty-region completion (core/region.hpp): the coarsest cover of the
+  // validated octants' insulation envelopes, per tree — the sub-forest
+  // this pass may touch, reported for the churn benchmarks and asserted
+  // by the churn tests.
+  {
+    std::map<std::int32_t, std::vector<Octant<D>>> by_tree;
+    for (const auto& to : validated) by_tree[to.tree].push_back(to.oct);
+    for (const auto& [tree, octs] : by_tree) {
+      rep.region_octants += dirty_region_cover<D>(octs).size();
+    }
+    c_region.add(0, rep.region_octants);
+  }
+
+  // Local pre-pass: re-balance every run containing a frontier octant
+  // (whole-run, no constraints yet) — the phase-1 restriction to dirty
+  // runs.  Runs without a frontier octant are fixed points of local
+  // balance and are skipped.  Created leaves join the frontier.
+  par::parallel_for_ranks(P, [&](int r) {
+    if (frontier[r].empty()) return;
+    std::map<std::int32_t, std::vector<Octant<D>>> touch;
+    for (const auto& to : frontier[r]) touch[to.tree];  // empty aux: run-only
+    std::vector<TreeOct<D>> created;
+    rebalance_with_aux(f.local(r), touch, opt, k, created);
+    frontier[r].insert(frontier[r].end(), created.begin(), created.end());
+    std::sort(frontier[r].begin(), frontier[r].end());
+  });
+
+  // Push rounds: every frontier octant announces itself to the owners of
+  // its insulation-layer pieces (mapped into the receiver's tree frame);
+  // receivers merge the announcements as auxiliary exterior constraints
+  // and re-balance the affected runs; the leaves that creates become the
+  // next frontier.  A charged allreduce of the per-rank work counts
+  // detects the global fixed point.
+  std::vector<std::vector<std::vector<WireOct<D>>>> qsend(P);
+  std::vector<std::map<std::int32_t, std::vector<Octant<D>>>> aux(P);
+  std::vector<std::uint64_t> rank_created(P, 0);
+  const auto& offs = full_offsets<D>();
+  const int round_cap = 4 * max_level<D> + 8;
+  for (int round = 0;; ++round) {
+    assert(round <= round_cap);
+    (void)round_cap;
+    // Build the pushes.  Self-directed constraints (same rank but another
+    // tree or a wrapped frame) bypass the network straight into aux.
+    par::parallel_for_ranks(P, [&](int r) {
+      qsend[r].assign(P, {});
+      aux[r].clear();
+      OwnerWindow<D> owners(f);
+      const GlobalPos own_lo = f.marker(r);
+      const GlobalPos own_hi = f.marker(r + 1);
+      for (const auto& to : frontier[r]) {
+        const coord_t hh = side_len(to.oct);
+        bool interior = true;
+        for (int dd = 0; dd < D && interior; ++dd) {
+          interior =
+              to.oct.x[dd] >= hh && to.oct.x[dd] + 2 * hh <= root_len<D>;
+        }
+        if (interior) {
+          // Whole-envelope early-out and per-piece owner windows, exactly
+          // as in the full pipeline's query walk (balance.cpp phase 2a).
+          Octant<D> lo_p = to.oct, hi_p = to.oct;
+          for (int dd = 0; dd < D; ++dd) {
+            lo_p.x[dd] -= hh;
+            hi_p.x[dd] += hh;
+          }
+          const GlobalPos env_lo{to.tree, morton_key(lo_p)};
+          const GlobalPos env_hi{
+              to.tree,
+              morton_key(hi_p) + (morton_t{1} << (D * size_exp(hi_p))) - 1};
+          if (own_lo <= env_lo && env_hi < own_hi) continue;
+          owners.set_window(env_lo, GlobalPos{to.tree, env_hi.key + 1});
+          const morton_t sz = morton_t{1} << (D * size_exp(to.oct));
+          for (const auto& off : offs) {
+            Octant<D> piece = to.oct;
+            for (int dd = 0; dd < D; ++dd) {
+              piece.x[dd] += static_cast<coord_t>(off[dd]) * hh;
+            }
+            const GlobalPos lo{to.tree, morton_key(piece)};
+            const GlobalPos hi{to.tree, lo.key + sz};
+            if (own_lo <= lo && GlobalPos{to.tree, hi.key - 1} < own_hi) {
+              continue;  // handled by this rank's own run re-balance
+            }
+            const auto [r0, r1] = owners.owners_of(lo, hi);
+            for (int dest = r0; dest <= r1; ++dest) {
+              if (f.marker(dest) == f.marker(dest + 1)) continue;  // empty
+              if (dest == r) continue;
+              qsend[r][dest].push_back(to_wire(to));
+            }
+          }
+          continue;
+        }
+        owners.clear_window();
+        for (const auto& off : offs) {
+          const auto nb = conn.neighbor(to.tree, to.oct, off);
+          if (!nb) continue;
+          const GlobalPos lo{nb->tree, morton_key(nb->oct)};
+          const GlobalPos hi{
+              nb->tree,
+              morton_key(nb->oct) + (morton_t{1} << (D * size_exp(nb->oct)))};
+          const bool same_frame =
+              nb->xform == FrameTransform<D>::identity();
+          if (nb->tree == to.tree && same_frame && own_lo <= lo &&
+              GlobalPos{nb->tree, hi.key - 1} < own_hi) {
+            continue;  // handled by this rank's own run re-balance
+          }
+          // The receiver holds its leaves in the neighbor tree's frame, so
+          // the announcement ships the frontier octant mapped *into* that
+          // frame (nb->xform maps neighbor -> source; its inverse maps the
+          // source octant to its — possibly exterior — image there).
+          const Octant<D> img =
+              same_frame ? to.oct : nb->xform.inverse().apply(to.oct);
+          const auto [r0, r1] = owners.owners_of(lo, hi);
+          for (int dest = r0; dest <= r1; ++dest) {
+            if (f.marker(dest) == f.marker(dest + 1)) continue;  // empty
+            if (dest == r && nb->tree == to.tree && same_frame) continue;
+            if (dest == r) {
+              aux[r][nb->tree].push_back(img);
+            } else {
+              qsend[r][dest].push_back(
+                  WireOct<D>{nb->tree, img.level, img.x});
+            }
+          }
+        }
+      }
+      for (int dest = 0; dest < P; ++dest) {
+        auto& q = qsend[r][dest];
+        std::sort(q.begin(), q.end());
+        q.erase(std::unique(q.begin(), q.end()), q.end());
+      }
+    });
+
+    // Charged termination consensus: one scalar allreduce of the round's
+    // push work (network announcements plus self-directed constraints).
+    // This is the NBX-style agreement that also closes the exchange below:
+    // senders know their destinations from the owner search, so direct
+    // point-to-point sends plus this consensus are a complete dynamic
+    // sparse data exchange — no notify algorithm needed, unlike the full
+    // pipeline's query phase where receivers are unknown to themselves.
+    std::uint64_t net_total = 0, work_total = 0;
+    {
+      comm.set_phase("churn/reduce");
+      std::vector<std::uint64_t> per(P, 0);
+      for (int r = 0; r < P; ++r) {
+        for (int dest = 0; dest < P; ++dest) per[r] += qsend[r][dest].size();
+        net_total += per[r];
+        std::uint64_t self = 0;
+        for (const auto& [tree, octs] : aux[r]) self += octs.size();
+        per[r] += self;
+      }
+      work_total = comm.allreduce_sum(per);
+    }
+    if (work_total == 0) break;
+    ++rep.rounds;
+    rep.constraints_sent += net_total;
+    for (int r = 0; r < P; ++r) {
+      std::uint64_t sent = 0;
+      for (int dest = 0; dest < P; ++dest) sent += qsend[r][dest].size();
+      c_sent.add(r, sent);
+    }
+
+    // Exchange the announcements with direct point-to-point sends (the
+    // consensus above already told every rank the round is live; skipped
+    // when every constraint this round was self-directed).
+    if (net_total > 0) {
+      comm.set_phase("churn/exchange");
+      par::parallel_for_ranks(P, [&](int r) {
+        for (int dest = 0; dest < P; ++dest) {
+          if (qsend[r][dest].empty() || dest == r) continue;
+          comm.send_items<WireOct<D>>(r, dest, qsend[r][dest]);
+        }
+      });
+      comm.deliver();
+      par::parallel_for_ranks(P, [&](int r) {
+        for (const auto& m : comm.recv_all(r)) {
+          for (const auto& w : SimComm::decode_items<WireOct<D>>(m)) {
+            Octant<D> o;
+            o.level = static_cast<level_t>(w.level);
+            o.x = w.x;
+            aux[r][w.tree].push_back(o);
+          }
+        }
+      });
+    }
+
+    // Apply the constraints; the created leaves are the next frontier.
+    par::parallel_for_ranks(P, [&](int r) {
+      std::vector<TreeOct<D>> created;
+      rebalance_with_aux(f.local(r), aux[r], opt, k, created);
+      rank_created[r] += created.size();
+      frontier[r].swap(created);
+    });
+  }
+
+  for (int r = 0; r < P; ++r) {
+    rep.octants_created += rank_created[r];
+    c_created.add(r, rank_created[r]);
+  }
+  c_rounds.add(0, static_cast<std::uint64_t>(rep.rounds));
+  f.refresh_markers();
+  f.clear_dirty();
+  comm.set_phase(phase0);
+  rep.comm.messages = comm.stats().messages - stats0.messages;
+  rep.comm.bytes = comm.stats().bytes - stats0.bytes;
+  rep.octants_after = f.global_num_octants();
+  return rep;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                              \
+  template DeltaBalanceReport delta_balance<D>(Forest<D>&,                 \
+                                               const BalanceOptions&,      \
+                                               SimComm&);
+OCTBAL_INSTANTIATE(1)
+OCTBAL_INSTANTIATE(2)
+OCTBAL_INSTANTIATE(3)
+#undef OCTBAL_INSTANTIATE
+
+}  // namespace octbal

@@ -1,0 +1,67 @@
+#pragma once
+/// \file delta_balance.hpp
+/// \brief Incremental 2:1 re-balance of a churned forest: instead of
+/// re-running the full one-pass pipeline after every refine/coarsen batch,
+/// re-balance only the dirty region — the octants the batch created,
+/// expanded by their insulation envelopes — and propagate the ripple
+/// outward in push rounds until a global fixed point.  The result is
+/// byte-identical to a full balance() of the same forest (same leaves,
+/// same per-rank arrays), at a fraction of the modeled communication.
+///
+/// Precondition: the forest was 2:1-balanced (at the same condition k)
+/// before the churn batch, and any coarsening in the batch used the
+/// 2:1-safe veto (Forest::coarsen with balance_k = k).  Under these two
+/// conditions a monotonicity argument closes the push-only scheme:
+///
+///   * A leaf created by refinement is finer than the pre-batch leaf it
+///     replaced, so against any *unchanged* leaf it can only be the fine
+///     side of a violation (if it were the coarse side at gap >= 2, the
+///     coarser pre-batch parent would have been at gap >= 3 against the
+///     same unchanged leaf — a pre-batch violation).  The same argument
+///     applies inductively to octants created by the delta rounds.
+///   * A veto'd coarsen never creates a violation at all (the veto checks
+///     every pre-sweep leaf overlapping the parent's insulation layer).
+///
+/// So only one direction of information flow is ever needed: each newly
+/// created octant *pushes* itself, as an auxiliary exterior constraint, to
+/// the owners of its insulation-layer pieces (the old-scheme phase-4
+/// mechanism of balance.cpp); no rank ever has to ask "did anything near
+/// me change".  Receivers re-balance the affected (rank, tree) run whole
+/// — balance_subtree handles the intra-run ripple in one shot — and the
+/// leaves that re-balance creates become the next round's frontier.  The
+/// rounds terminate when a charged allreduce reports no work anywhere;
+/// runs that never receive a constraint are fixed points of local balance
+/// and are provably left byte-identical.
+
+#include "forest/balance.hpp"
+
+namespace octbal {
+
+/// Traffic and work of one delta_balance() call.  All counts are
+/// deterministic and machine independent.
+struct DeltaBalanceReport {
+  std::uint64_t dirty_logged = 0;     ///< raw dirty-log entries consumed
+  std::uint64_t dirty_validated = 0;  ///< entries still present as leaves
+  std::uint64_t region_octants = 0;   ///< dirty-region cover size (global)
+  std::uint64_t constraints_sent = 0; ///< pushed wire octants (network only)
+  std::uint64_t octants_created = 0;  ///< leaves the re-balance added
+  int rounds = 0;                     ///< push rounds with any work
+  std::uint64_t octants_before = 0;
+  std::uint64_t octants_after = 0;
+  CommStats comm;  ///< exchange + termination-allreduce traffic
+};
+
+/// Re-balance the dirty region of \p f (recorded by refine/coarsen since
+/// the last clear_dirty()) to the full 2:1 condition of \p opt.  Consumes
+/// and clears the dirty log.  Only opt.k and opt.subtree are honored: the
+/// query/response switches do not apply (the push scheme has no query
+/// phase), and the announcements travel as direct point-to-point sends
+/// closed by the per-round termination allreduce (an NBX-style sparse
+/// exchange — senders know their destinations, so no notify algorithm is
+/// needed either).  Byte-identical to balance(f, opt, comm) under the
+/// precondition above.
+template <int D>
+DeltaBalanceReport delta_balance(Forest<D>& f, const BalanceOptions& opt,
+                                 SimComm& comm);
+
+}  // namespace octbal

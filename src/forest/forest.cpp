@@ -9,6 +9,18 @@
 #include "core/neighborhood.hpp"
 
 namespace octbal {
+namespace {
+
+/// Split a gathered forest into per-tree octant arrays.
+template <int D>
+std::vector<std::vector<Octant<D>>> split_by_tree(
+    const std::vector<TreeOct<D>>& leaves, int ntrees) {
+  std::vector<std::vector<Octant<D>>> per_tree(ntrees);
+  for (const auto& to : leaves) per_tree[to.tree].push_back(to.oct);
+  return per_tree;
+}
+
+}  // namespace
 
 template <int D>
 Forest<D>::Forest(Connectivity<D> conn, int nranks, int level)
@@ -144,6 +156,8 @@ void Forest<D>::refine(const RefinePred& pred, bool recursive) {
                            (recursive || cur.oct.level == to.oct.level);
         if (!split) {
           next.push_back(cur);
+          // Dirty log: every leaf this sweep created (not the survivors).
+          if (cur.oct.level > to.oct.level) dirty_.push_back(cur);
           continue;
         }
         for (int c = num_children<D> - 1; c >= 0; --c) {
@@ -157,7 +171,35 @@ void Forest<D>::refine(const RefinePred& pred, bool recursive) {
 }
 
 template <int D>
-void Forest<D>::coarsen(const RefinePred& pred) {
+void Forest<D>::coarsen(const RefinePred& pred, int balance_k) {
+  // 2:1-safety veto context: the *pre-sweep* global leaf set, split by
+  // tree.  Judging every candidate family against this snapshot (rather
+  // than the evolving arrays) makes the veto order-independent: two
+  // adjacent families that each pass cannot jointly create a violation,
+  // because a violation between their parents (levels L and M >= L + 2)
+  // requires a pre-sweep child of the finer family at level M + 1 >= L + 2
+  // adjacent to the coarser parent — which vetoes the coarser collapse.
+  std::vector<std::vector<Octant<D>>> per_tree;
+  if (balance_k > 0) {
+    per_tree = split_by_tree(gather(), conn_.num_trees());
+  }
+  // Safe iff no pre-sweep leaf overlapping the parent's insulation layer
+  // is two or more levels finer than the parent (the forest_find_violation
+  // walk, applied to the would-be parent).
+  const auto collapse_safe = [&](std::int32_t tree, const Octant<D>& par) {
+    for (const auto& off : balance_offsets<D>(balance_k)) {
+      const auto nb = conn_.neighbor(tree, par, off);
+      if (!nb) continue;
+      const auto& other = per_tree[nb->tree];
+      const auto [lo, hi] = overlapping_range(other, nb->oct);
+      for (std::size_t j = lo; j < hi; ++j) {
+        if (other[j].level <= par.level + 1) continue;
+        const int c = adjacency_codim(par, nb->xform.apply(other[j]));
+        if (c >= 1 && c <= balance_k) return false;
+      }
+    }
+    return true;
+  };
   for (auto& mine : local_) {
     std::vector<TreeOct<D>> next;
     next.reserve(mine.size());
@@ -176,8 +218,14 @@ void Forest<D>::coarsen(const RefinePred& pred) {
             break;
           }
         }
+        if (merged && balance_k > 0 &&
+            !collapse_safe(mine[i].tree, parent(mine[i].oct))) {
+          merged = false;
+        }
         if (merged) {
-          next.push_back(TreeOct<D>{mine[i].tree, parent(mine[i].oct)});
+          const TreeOct<D> par{mine[i].tree, parent(mine[i].oct)};
+          next.push_back(par);
+          dirty_.push_back(par);
           i += nc;
         }
       }
@@ -305,19 +353,6 @@ std::uint64_t forest_checksum(const Forest<D>& f) {
   }
   return h;
 }
-
-namespace {
-
-/// Split a gathered forest into per-tree octant arrays.
-template <int D>
-std::vector<std::vector<Octant<D>>> split_by_tree(
-    const std::vector<TreeOct<D>>& leaves, int ntrees) {
-  std::vector<std::vector<Octant<D>>> per_tree(ntrees);
-  for (const auto& to : leaves) per_tree[to.tree].push_back(to.oct);
-  return per_tree;
-}
-
-}  // namespace
 
 template <int D>
 bool forest_find_violation(const std::vector<TreeOct<D>>& leaves,

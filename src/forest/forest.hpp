@@ -84,8 +84,24 @@ class Forest {
   void refine(const RefinePred& pred, bool recursive);
 
   /// Coarsen every complete family, fully owned by one rank, whose members
-  /// all satisfy \p pred.  One sweep (not recursive).
-  void coarsen(const RefinePred& pred);
+  /// all satisfy \p pred.  One sweep (not recursive).  With \p balance_k
+  /// > 0, a family is additionally vetoed unless the collapse is 2:1-safe
+  /// at codimension balance_k: no current leaf overlapping the parent's
+  /// insulation layer is two or more levels finer than the parent.  Every
+  /// family is judged against the pre-sweep leaf set, so simultaneous
+  /// collapses of adjacent families cannot jointly break balance — a
+  /// vetoed coarsen of a 2:1-balanced forest stays 2:1-balanced, which is
+  /// what lets delta_balance() treat coarsening as a no-op for the
+  /// balance condition (see forest/delta_balance.hpp).
+  void coarsen(const RefinePred& pred, int balance_k = 0);
+
+  /// The dirty log: every leaf created by refine() or coarsen() since the
+  /// last clear_dirty(), in creation order (unsorted, possibly stale —
+  /// an entry may have been split or collapsed away by a later batch).
+  /// delta_balance() consumes and clears it; a full balance() does not
+  /// touch it, so callers switching paths clear it themselves.
+  const std::vector<TreeOct<D>>& dirty() const { return dirty_; }
+  void clear_dirty() { dirty_.clear(); }
 
   /// Redistribute octants so every rank owns an equal share (±1), updating
   /// the partition markers.  Bytes crossing rank boundaries are charged to
@@ -117,6 +133,10 @@ class Forest {
   Connectivity<D> conn_;
   std::vector<std::vector<TreeOct<D>>> local_;
   std::vector<GlobalPos> marks_;  // size nranks + 1
+  /// Leaves created by refine()/coarsen() since the last clear_dirty().
+  /// Stored globally (not per rank) so repartitioning between the churn
+  /// batch and the delta balance cannot orphan an entry.
+  std::vector<TreeOct<D>> dirty_;
 };
 
 /// Counters of the windowed owner resolution (OwnerWindow).  All counts are

@@ -1,0 +1,65 @@
+#pragma once
+/// \file span.hpp
+/// \brief Run/span helpers shared by the balance pipelines: splitting a
+/// rank's sorted TreeOct array into per-tree contiguous runs, clipping a
+/// re-balanced subtree back to a run's original curve span (which is how
+/// ownership stays fixed across a balance — the span's key interval is
+/// invariant under refinement, because a split leaf's first child keeps
+/// its Morton key and its last child ends where the parent ended), and
+/// linearizing TreeOct arrays.  Used by forest/balance.cpp (full one-pass
+/// balance) and forest/delta_balance.cpp (incremental re-balance).
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "forest/forest.hpp"
+
+namespace octbal::detail {
+
+/// Runs of equal tree id within a sorted TreeOct array.
+template <int D>
+std::vector<std::pair<std::size_t, std::size_t>> tree_runs(
+    const std::vector<TreeOct<D>>& a) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  std::size_t i = 0;
+  while (i < a.size()) {
+    std::size_t j = i;
+    while (j < a.size() && a[j].tree == a[i].tree) ++j;
+    runs.push_back({i, j});
+    i = j;
+  }
+  return runs;
+}
+
+/// Keep only the leaves of \p balanced whose Morton interval lies within
+/// the closed span of the original run [first, last].
+template <int D>
+void clip_to_span(const std::vector<Octant<D>>& balanced,
+                  const Octant<D>& first, const Octant<D>& last,
+                  std::int32_t tree, std::vector<TreeOct<D>>& out) {
+  const morton_t lo = morton_key(first);
+  const morton_t hi =
+      morton_key(last) + (morton_t{1} << (D * size_exp(last)));
+  for (const auto& o : balanced) {
+    const morton_t key = morton_key(o);
+    if (key >= lo && key < hi) out.push_back(TreeOct<D>{tree, o});
+  }
+}
+
+/// Remove ancestors (keep finest) in a sorted TreeOct array.
+template <int D>
+void linearize_treeocts(std::vector<TreeOct<D>>& a) {
+  std::sort(a.begin(), a.end());
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i + 1 < a.size() && a[i].tree == a[i + 1].tree &&
+        contains(a[i].oct, a[i + 1].oct)) {
+      continue;
+    }
+    a[w++] = a[i];
+  }
+  a.resize(w);
+}
+
+}  // namespace octbal::detail

@@ -296,6 +296,44 @@ void diff_run(Differ& d, const std::string& path, const JsonValue& a,
     d.timing(rp + ".slack_reduction", ar->find("slack_reduction"),
              br->find("slack_reduction"));
   }
+  // bench_churn's per-run lifecycle section: the per-step octant/dirty/
+  // constraint counters and the byte-identity verdicts are
+  // machine-independent goldens; the modeled full/delta times and the
+  // derived reductions are modeled figures behind the tol gate.
+  const JsonValue* ac = a.find("churn");
+  const JsonValue* bc = b.find("churn");
+  if (ac && bc) {
+    const std::string cp = path + ".churn";
+    d.exact(cp + ".identical_all", ac->find("identical_all"),
+            bc->find("identical_all"));
+    d.timing(cp + ".steady_min_reduction", ac->find("steady_min_reduction"),
+             bc->find("steady_min_reduction"));
+    d.timing(cp + ".steady_mean_reduction",
+             ac->find("steady_mean_reduction"),
+             bc->find("steady_mean_reduction"));
+    const JsonValue* as = ac->find("steps");
+    const JsonValue* bs = bc->find("steps");
+    if (as && bs && as->is_array() && bs->is_array()) {
+      if (as->arr.size() != bs->arr.size()) {
+        d.mismatch(cp + ".steps.length", std::to_string(as->arr.size()),
+                   std::to_string(bs->arr.size()));
+      } else {
+        for (std::size_t i = 0; i < as->arr.size(); ++i) {
+          const std::string sp = cp + ".steps[" + std::to_string(i) + "]";
+          const JsonValue& av = as->arr[i];
+          const JsonValue& bv = bs->arr[i];
+          for (const char* key :
+               {"step", "octants", "refined", "coarsened", "dirty", "region",
+                "constraints", "created", "rounds", "identical"}) {
+            d.exact(sp + "." + key, av.find(key), bv.find(key));
+          }
+          d.timing_member(sp, av, bv, "modeled_full");
+          d.timing_member(sp, av, bv, "modeled_delta");
+          d.timing_member(sp, av, bv, "reduction");
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -794,6 +832,19 @@ FlightDivergence flight_bisect(const FlightLog& a, const FlightLog& b) {
     return d;
   }
   d.rounds_compared = n;
+  // The logs agree on everything both actually recorded.  If either was
+  // truncated, the remaining rounds are unknowable — refuse to rule rather
+  // than report a bogus tail divergence (or a hollow "identical").
+  if (a.rounds_truncated != 0 || b.rounds_truncated != 0) {
+    d.truncated = true;
+    d.what = fmt(
+        "logs agree through round %zu, but recording was truncated "
+        "(%llu vs %llu rounds not recorded) — cannot compare past the "
+        "truncation point",
+        n, static_cast<unsigned long long>(a.rounds_truncated),
+        static_cast<unsigned long long>(b.rounds_truncated));
+    return d;
+  }
   if (a.rounds.size() != b.rounds.size()) {
     d.diverged = true;
     d.round = static_cast<std::int64_t>(n);
@@ -888,6 +939,11 @@ std::string render_bisect(const FlightDivergence& d) {
   std::string out;
   const std::string a = d.label_a.empty() ? "a" : d.label_a;
   const std::string b = d.label_b.empty() ? "b" : d.label_b;
+  if (d.truncated) {
+    out += fmt("bisect %s vs %s: INCONCLUSIVE — %s\n", a.c_str(), b.c_str(),
+               d.what.c_str());
+    return out;
+  }
   if (!d.diverged) {
     out += fmt("bisect %s vs %s: IDENTICAL (%llu rounds compared)\n",
                a.c_str(), b.c_str(),
@@ -927,6 +983,7 @@ std::string bisect_json(const FlightDivergence& d) {
   w.begin_object();
   w.kv("schema", "octbal-inspect-bisect-v1");
   w.kv("diverged", d.diverged);
+  w.kv("truncated", d.truncated);
   w.kv("round", d.round);
   w.kv("phase_a", d.phase_a);
   w.kv("phase_b", d.phase_b);

@@ -115,6 +115,12 @@ struct FlightDivergence {
   std::vector<EdgeDiff> edges;        ///< offending edges (capped)
   std::uint64_t edges_differing = 0;  ///< total differing edges at the round
   std::uint64_t rounds_compared = 0;  ///< identical rounds before the verdict
+  /// True when the logs agree on their common recorded prefix but at least
+  /// one of them was truncated by its record budget: the comparison cannot
+  /// see past the truncation point, so neither "identical" nor "round
+  /// count differs" would be a sound verdict.  A divergence found *inside*
+  /// the recorded prefix is genuine and leaves this false.
+  bool truncated = false;
   std::string label_a, label_b;
 };
 

@@ -58,49 +58,101 @@ class Coastline {
   std::vector<double> phase_;
 };
 
+/// Normalized x-y footprint of an octant: the whole brick maps to the
+/// unit square (z to [0,1]).
+template <int D>
+struct Footprint {
+  double x0 = 0.0, y0 = 0.5, z0 = 0.0;
+  double hx = 0.0, hy = 0.0;
+};
+
+template <int D>
+Footprint<D> footprint(const Forest<D>& f, const TreeOct<D>& to) {
+  const auto dims = f.connectivity().dims();
+  const double fx = static_cast<double>(dims[0]) * root_len<D>;
+  const double fy = D >= 2 ? static_cast<double>(dims[1]) * root_len<D> : 1.0;
+  const double fz = D >= 3 ? static_cast<double>(dims[2]) * root_len<D> : 1.0;
+  const auto tc = f.connectivity().tree_coords(to.tree);
+  Footprint<D> fp;
+  fp.x0 = (tc[0] * static_cast<double>(root_len<D>) + to.oct.x[0]) / fx;
+  fp.hx = side_len(to.oct) / fx;
+  if constexpr (D >= 2) {
+    fp.y0 = (tc[1] * static_cast<double>(root_len<D>) + to.oct.x[1]) / fy;
+    fp.hy = side_len(to.oct) / fy;
+  }
+  if constexpr (D >= 3) {
+    fp.z0 = (tc[2] * static_cast<double>(root_len<D>) + to.oct.x[2]) / fz;
+  }
+  (void)fz;
+  return fp;
+}
+
+/// True when the corners of the x-y footprint of the octant do not agree
+/// on which side of the (radially shifted) coastline they are — the cell
+/// straddles the grounding line.
+template <int D>
+bool straddles(const Coastline& coast, const Footprint<D>& fp, double shift) {
+  int pos = 0, neg = 0;
+  for (int c = 0; c < 4; ++c) {
+    const double cx = fp.x0 + ((c & 1) ? fp.hx : 0.0);
+    const double cy = fp.y0 + ((c & 2) ? fp.hy : 0.0);
+    (coast.side_of(cx, cy) - shift >= 0 ? pos : neg)++;
+  }
+  return pos > 0 && neg > 0;
+}
+
 }  // namespace
 
 template <int D>
 void icesheet_refine(Forest<D>& f, int lmax, const IceSheetParams& p) {
   const Coastline coast(p);
-  const auto dims = f.connectivity().dims();
-  // Footprint normalization: map the x-y extent of the whole brick to the
-  // unit square.
-  const double fx = static_cast<double>(dims[0]) * root_len<D>;
-  const double fy = D >= 2 ? static_cast<double>(dims[1]) * root_len<D> : 1.0;
-  const double fz =
-      D >= 3 ? static_cast<double>(dims[2]) * root_len<D> : 1.0;
-
   f.refine(
       [&](const TreeOct<D>& to) {
         if (to.oct.level >= lmax) return false;
-        const auto tc = f.connectivity().tree_coords(to.tree);
-        double x0 = (tc[0] * static_cast<double>(root_len<D>) + to.oct.x[0]) / fx;
-        double y0 = 0.5, z0 = 0.0;
-        const double hx = side_len(to.oct) / fx;
-        double hy = 0.0, hz = 0.0;
-        if constexpr (D >= 2) {
-          y0 = (tc[1] * static_cast<double>(root_len<D>) + to.oct.x[1]) / fy;
-          hy = side_len(to.oct) / fy;
-        }
-        if constexpr (D >= 3) {
-          z0 = (tc[2] * static_cast<double>(root_len<D>) + to.oct.x[2]) / fz;
-          hz = side_len(to.oct) / fz;
-        }
-        if (D >= 3 && z0 > p.zfrac) return false;  // above the grounded band
-        (void)hz;
-        // Refine when the corners of the x-y footprint of the octant do not
-        // agree on which side of the coastline they are (the cell straddles
-        // the grounding line).
-        int pos = 0, neg = 0;
-        for (int c = 0; c < 4; ++c) {
-          const double cx = x0 + ((c & 1) ? hx : 0.0);
-          const double cy = y0 + ((c & 2) ? hy : 0.0);
-          (coast.side_of(cx, cy) >= 0 ? pos : neg)++;
-        }
-        return pos > 0 && neg > 0;
+        const auto fp = footprint(f, to);
+        if (D >= 3 && fp.z0 > p.zfrac) return false;  // above grounded band
+        return straddles(coast, fp, 0.0);
       },
       true);
+}
+
+template <int D>
+void front_refine(Forest<D>& f, int lmax, const ChurnFrontParams& p,
+                  int step) {
+  const Coastline coast(p.sheet);
+  const double shift = p.drift * step;
+  f.refine(
+      [&](const TreeOct<D>& to) {
+        if (to.oct.level >= lmax) return false;
+        const auto fp = footprint(f, to);
+        if (D >= 3 && fp.z0 > p.sheet.zfrac) return false;
+        return straddles(coast, fp, shift);
+      },
+      true);
+}
+
+template <int D>
+void front_coarsen(Forest<D>& f, const ChurnFrontParams& p, int step,
+                   int balance_k) {
+  const Coastline coast(p.sheet);
+  const double shift = p.drift * step;
+  f.coarsen(
+      [&](const TreeOct<D>& to) {
+        if (to.oct.level == 0) return false;
+        const auto fp = footprint(f, to);
+        // Coarsen cells whose whole footprint is well clear of the front:
+        // every corner at least p.wake away, on the same side.
+        int far_pos = 0, far_neg = 0;
+        for (int c = 0; c < 4; ++c) {
+          const double cx = fp.x0 + ((c & 1) ? fp.hx : 0.0);
+          const double cy = fp.y0 + ((c & 2) ? fp.hy : 0.0);
+          const double s = coast.side_of(cx, cy) - shift;
+          if (s >= p.wake) ++far_pos;
+          if (s <= -p.wake) ++far_neg;
+        }
+        return far_pos == 4 || far_neg == 4;
+      },
+      balance_k);
 }
 
 template <int D>
@@ -125,6 +177,10 @@ std::map<int, std::uint64_t> level_histogram(const Forest<D>& f) {
   template void fractal_refine<D>(Forest<D>&, int);                 \
   template void icesheet_refine<D>(Forest<D>&, int,                 \
                                    const IceSheetParams&);          \
+  template void front_refine<D>(Forest<D>&, int,                    \
+                                const ChurnFrontParams&, int);      \
+  template void front_coarsen<D>(Forest<D>&, const ChurnFrontParams&, \
+                                 int, int);                         \
   template void random_refine<D>(Forest<D>&, Rng&, int, double);    \
   template std::map<int, std::uint64_t> level_histogram<D>(         \
       const Forest<D>&);

@@ -35,6 +35,32 @@ struct IceSheetParams {
 template <int D>
 void icesheet_refine(Forest<D>& f, int lmax, const IceSheetParams& p = {});
 
+/// Parameters of the advected grounding line driving the sustained-AMR
+/// churn benchmarks (bench/bench_churn): per time step the coastline's
+/// base radius advances outward by \p drift (relative units), cells
+/// straddling the *current* front refine to lmax, and cells whose whole
+/// footprint sits further than \p wake from the front coarsen back one
+/// level per step — the classic moving-feature AMR lifecycle.
+struct ChurnFrontParams {
+  IceSheetParams sheet{};
+  double drift = 0.015;  ///< radial front advance per step
+  double wake = 0.08;    ///< distance beyond which cells coarsen back
+};
+
+/// Refine every cell straddling the front at time \p step to \p lmax
+/// (recursive; in 3D restricted to the grounded band z < zfrac).
+template <int D>
+void front_refine(Forest<D>& f, int lmax, const ChurnFrontParams& p,
+                  int step);
+
+/// Coarsen families whose members all lie further than p.wake from the
+/// front at time \p step, one level per sweep.  \p balance_k > 0 applies
+/// the 2:1-safe veto (Forest::coarsen), which keeps a balanced forest
+/// balanced — the precondition of delta_balance().
+template <int D>
+void front_coarsen(Forest<D>& f, const ChurnFrontParams& p, int step,
+                   int balance_k);
+
 class Rng;
 
 /// Randomized recursive refinement used by the fuzzing/audit harness and

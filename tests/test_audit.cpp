@@ -193,6 +193,36 @@ TEST(Audit, ShrunkInputStaysValidForest) {
   EXPECT_TRUE(f.is_valid());
 }
 
+TEST(Audit, SfcBisectionReaches3dMinimumUnderTightBudget) {
+  // Seed 18 under kOrderDependentReduce is a deep 3D case (778 leaves)
+  // whose failure lives in one window of the space-filling curve.  Pure
+  // ancestor collapse walks toward the minimum one accepted coarsening
+  // at a time and, with only 15 evals, stalls at 71 octants; the SFC
+  // bisection stage removes half the curve per accepted eval and reaches
+  // the 29-octant minimum inside the same budget.  Pin both the tight-
+  // budget quality and the full-budget minimum, plus validity of the
+  // shrunk forest (bisected halves are re-completed per tree).
+  CaseConfig cfg = random_case_config(18);
+  cfg.opt.inject = FaultInjection::kOrderDependentReduce;
+  ASSERT_EQ(cfg.dim, 3);
+  const CaseData<3> data = make_case<3>(cfg);
+  ASSERT_GT(data.leaves.size(), 700u);
+  const InvariantReport rep = Invariants::check<3>(cfg, data);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_EQ(rep.invariant, "balance") << rep.detail;
+
+  const ShrinkOutcome<3> tight = Shrinker::shrink<3>(cfg, data, rep, 15);
+  EXPECT_LT(tight.leaves.size(), 40u)
+      << "bisection stage regressed: collapse-only stalls at ~71 here";
+  EXPECT_LE(tight.evals, 15);
+
+  const ShrinkOutcome<3> full = Shrinker::shrink<3>(cfg, data, rep);
+  EXPECT_LT(full.leaves.size(), 40u);
+  EXPECT_FALSE(full.report.ok);
+  Forest<3> f(data.conn, full.cfg.ranks, full.leaves);
+  EXPECT_TRUE(f.is_valid());
+}
+
 TEST(Audit, ShrinkPreservesDivergenceAttribution) {
   // The shrinker disables attribution inside its eval loop (it would
   // triple the cost of every probe) but must re-attribute the final

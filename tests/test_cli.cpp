@@ -8,7 +8,9 @@
 
 #include <vector>
 
+#include "harness.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 
 namespace octbal {
 namespace {
@@ -50,6 +52,25 @@ TEST(Cli, BareFlagsUseDefaultWithoutWarning) {
   // A bare flag has an empty value: typed lookups return the default.
   EXPECT_EQ(cli.get_int("verbose", 11), 11);
   EXPECT_DOUBLE_EQ(cli.get_double("trailing", 0.5), 0.5);
+}
+
+TEST(Cli, ConfigureThreadsValidatesRange) {
+  const int before = par::num_threads();
+  // A negative count must never reach the pool: it used to pass the
+  // `want > 0` guard unvalidated in spirit (silently ignored, no warning)
+  // and a typo'd huge value really did spawn that many OS threads.
+  EXPECT_EQ(configure_threads(make({"prog", "--threads", "-3"})), before);
+  EXPECT_EQ(par::num_threads(), before);
+
+  EXPECT_EQ(configure_threads(make({"prog", "--threads", "3"})), 3);
+  EXPECT_EQ(par::num_threads(), 3);
+
+  // Absurd requests clamp to the documented cap instead of exhausting the
+  // process's thread budget.
+  EXPECT_EQ(configure_threads(make({"prog", "--threads", "9999999"})), 1024);
+  EXPECT_EQ(par::num_threads(), 1024);
+
+  par::set_num_threads(before);
 }
 
 TEST(Cli, ValidValuesStillParse) {

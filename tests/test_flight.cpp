@@ -114,7 +114,7 @@ TEST(Flight, DigestIsDeterministicAndContentSensitive) {
   EXPECT_NE(c.flight()[0].edges[0].digest, a.edges[0].digest);
 }
 
-TEST(Flight, EdgeBudgetDropsWholeRounds) {
+TEST(Flight, EdgeBudgetKeepsContiguousPrefix) {
   SimComm c(3);
   c.set_flight_recording(true);
   c.set_flight_record_limit(3);
@@ -123,15 +123,74 @@ TEST(Flight, EdgeBudgetDropsWholeRounds) {
   c.deliver();  // 2 edges: fits
   c.send(1, 0, bytes({3}));
   c.send(1, 2, bytes({4}));
-  c.deliver();  // would make 4 cumulative edges: dropped whole
+  c.deliver();  // would make 4 cumulative edges: dropped — recording stops
   c.send(2, 0, bytes({5}));
-  c.deliver();  // 1 edge: 3 cumulative, fits again
+  c.deliver();  // would fit the leftover budget, but admitting it would
+                // leave an interior gap; it must stay dropped
   for (int r = 0; r < 3; ++r) c.recv_all(r);
-  ASSERT_EQ(c.flight().size(), 2u);
-  EXPECT_EQ(c.flight_truncated(), 1u);
+  ASSERT_EQ(c.flight().size(), 1u);
+  EXPECT_EQ(c.flight_truncated(), 2u);
   EXPECT_EQ(c.flight()[0].edges.size(), 2u);
-  EXPECT_EQ(c.flight()[1].edges.size(), 1u);
-  EXPECT_EQ(c.flight()[1].edges[0].from, 2);
+  EXPECT_EQ(c.flight()[0].edges[0].from, 0);
+}
+
+TEST(Flight, RoundMatrixBudgetKeepsContiguousPrefix) {
+  // Same contiguous-prefix rule for the round-matrix channel: a small
+  // round arriving after a dropped larger one must not be recorded.
+  SimComm c(3);
+  c.set_round_record_limit(3);
+  c.send(0, 1, bytes({1}));
+  c.send(0, 2, bytes({2}));
+  c.deliver();  // 2 entries: fits
+  c.send(1, 0, bytes({3}));
+  c.send(1, 2, bytes({4}));
+  c.deliver();  // dropped — recording stops
+  c.send(2, 0, bytes({5}));
+  c.deliver();  // must stay dropped despite fitting the leftover budget
+  for (int r = 0; r < 3; ++r) c.recv_all(r);
+  ASSERT_EQ(c.rounds().size(), 1u);
+  EXPECT_EQ(c.rounds_truncated(), 2u);
+  EXPECT_EQ(c.rounds()[0].entries.size(), 2u);
+}
+
+TEST(Flight, BisectRefusesPastTruncationPoint) {
+  // Two logs that agree on their recorded prefix, one truncated: the
+  // bisector must not rule "identical" or invent a tail divergence.
+  const auto capture = [](std::size_t limit) {
+    SimComm c(2);
+    c.set_flight_recording(true);
+    c.set_flight_record_limit(limit);
+    for (int round = 0; round < 3; ++round) {
+      c.send(0, 1, bytes({static_cast<std::uint8_t>(round)}));
+      c.deliver();
+      c.recv_all(1);
+    }
+    return obs::FlightLog{"log", 2, c.flight_truncated(), c.flight()};
+  };
+  const obs::FlightLog full = capture(16), capped = capture(2);
+  ASSERT_EQ(capped.rounds.size(), 2u);
+  ASSERT_EQ(capped.rounds_truncated, 1u);
+  const obs::FlightDivergence d = obs::flight_bisect(full, capped);
+  EXPECT_TRUE(d.truncated);
+  EXPECT_FALSE(d.diverged);
+  EXPECT_EQ(d.rounds_compared, 2u);
+  EXPECT_NE(d.what.find("truncated"), std::string::npos) << d.what;
+  EXPECT_NE(obs::render_bisect(d).find("INCONCLUSIVE"), std::string::npos);
+  EXPECT_NE(obs::bisect_json(d).find("\"truncated\":true"),
+            std::string::npos);
+
+  // A divergence *inside* the common recorded prefix is genuine even when
+  // a log is truncated.
+  SimComm c(2);
+  c.set_flight_recording(true);
+  c.send(0, 1, bytes({99}));
+  c.deliver();
+  c.recv_all(1);
+  const obs::FlightLog other{"log", 2, 0, c.flight()};
+  const obs::FlightDivergence g = obs::flight_bisect(capped, other);
+  EXPECT_TRUE(g.diverged);
+  EXPECT_FALSE(g.truncated);
+  EXPECT_EQ(g.round, 0);
 }
 
 TEST(Flight, PayloadCaptureHonorsBudget) {
