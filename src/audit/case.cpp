@@ -95,6 +95,9 @@ CaseConfig random_case_config(std::uint64_t seed, Tier tier) {
   c.churn_steps =
       rng2.chance(0.35) ? 1 + static_cast<int>(rng2.below(3)) : 0;
   c.churn_coarsen = rng2.chance(0.7);
+  // Core layout dimension: an even split keeps both the packed-key SoA
+  // kernels and the AoS reference under continuous differential fire.
+  c.layout = rng2.chance(0.5) ? CoreLayout::kKeySoA : CoreLayout::kAoS;
   return c;
 }
 
@@ -166,6 +169,7 @@ std::string describe(const CaseConfig& c) {
          : c.opt.notify_algo == NotifyAlgo::kRanges ? "ranges"
                                                     : "naive")
      << " carries=" << (c.opt.notify_carries_queries ? 1 : 0);
+  os << " layout=" << (c.layout == CoreLayout::kKeySoA ? "keysoa" : "aos");
   if (c.opt.inject != FaultInjection::kNone) {
     os << " inject=" << static_cast<int>(c.opt.inject);
   }

@@ -35,6 +35,10 @@ template <int D>
 PipelineRun<D> run_pipeline(const CaseConfig& cfg, const CaseData<D>& data,
                             const BalanceOptions& opt, int ranks,
                             RunFlags flags = {}) {
+  // Every pipeline run (main, A/B re-runs, attribution) executes on the
+  // case's core layout, so a key-SoA divergence reproduces wherever the
+  // case does.
+  ScopedCoreLayout layout(cfg.layout);
   Forest<D> f(data.conn, ranks, data.leaves);
   switch (cfg.partition) {
     case PartitionKind::kEven:
@@ -213,6 +217,10 @@ bool seed_pair_ok(const Octant<D>& o, const Octant<D>& r, int k,
 template <int D>
 InvariantReport Invariants::check(const CaseConfig& cfg,
                                   const CaseData<D>& data) {
+  // The oracle blocks below call balance/repartition outside run_pipeline
+  // too; pin the case's core layout for the whole battery so every
+  // re-execution compares like with like.
+  ScopedCoreLayout layout(cfg.layout);
   // A failure of a content invariant under fault injection has a natural
   // clean-vs-injected flight pair; attach the first-divergent comm round
   // to the report (no-op for genuinely clean configurations).

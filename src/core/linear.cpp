@@ -35,10 +35,25 @@ void fill_rec(const Octant<D>& cur, morton_t lo, morton_t hi,
   for (int i = 0; i < num_children<D>; ++i) fill_rec(child(cur, i), lo, hi, out);
 }
 
-}  // namespace
+/// Key-native fill_rec: identical recursion, the interval bounds and the
+/// child descent derived from the packed key by shifts.
+template <int D>
+void fill_rec_keys(okey_t cur, morton_t lo, morton_t hi,
+                   std::vector<okey_t>& out) {
+  const morton_t b = key_interval_begin<D>(cur), e = key_interval_end<D>(cur);
+  if (e <= lo || b >= hi) return;
+  if (lo <= b && e <= hi) {
+    out.push_back(cur);
+    return;
+  }
+  assert(key_level<D>(cur) < max_level<D>);
+  for (int i = 0; i < num_children<D>; ++i) {
+    fill_rec_keys<D>(key_child<D>(cur, i), lo, hi, out);
+  }
+}
 
 template <int D>
-void linearize(std::vector<Octant<D>>& a) {
+void linearize_aos(std::vector<Octant<D>>& a) {
   sort_octants(a);
   std::size_t w = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -50,11 +65,74 @@ void linearize(std::vector<Octant<D>>& a) {
   a.resize(w);
 }
 
+/// Fused keyed linearize: pack into pass records once, sort, and run the
+/// ancestor-drop on the raw keys, unpacking only the survivors — the
+/// record round trip replaces both the AoS record pass and the separate
+/// key-vector conversions.
+template <int D>
+void linearize_keyed(std::vector<Octant<D>>& a) {
+  const std::size_t n = a.size();
+  std::vector<detail::KeyRec> cur, tmp;
+  cur.reserve(n);
+  for (const Octant<D>& o : a) cur.push_back(detail::key_rec_of(o));
+  detail::radix_sort_recs(cur, tmp, nullptr);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n && key_contains(cur[i].key, cur[i + 1].key)) continue;
+    a[w++] = detail::rec_oct<D>(cur[i]);
+  }
+  a.resize(w);
+}
+
+template <int D>
+void fill_gap_keys(okey_t root, okey_t after, okey_t before,
+                   std::vector<okey_t>& out) {
+  const morton_t lo =
+      after ? key_interval_end<D>(after) : key_interval_begin<D>(root);
+  const morton_t hi =
+      before ? key_interval_begin<D>(before) : key_interval_end<D>(root);
+  if (lo >= hi) return;
+  fill_rec_keys<D>(root, lo, hi, out);
+}
+
+}  // namespace
+
+void linearize_keys(std::vector<okey_t>& a) {
+  sort_keys(a);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i + 1 < a.size() && key_contains(a[i], a[i + 1])) continue;
+    a[w++] = a[i];
+  }
+  a.resize(w);
+}
+
+template <int D>
+void linearize(std::vector<Octant<D>>& a) {
+  // Same crossover as sort_octants: below the radix regime the AoS loop
+  // (whose sort_octants call makes the same small-n choice) is optimal and
+  // produces the identical array.
+  if (core_layout() == CoreLayout::kKeySoA &&
+      a.size() >= detail::kRadixThreshold) {
+    linearize_keyed(a);
+    return;
+  }
+  linearize_aos(a);
+}
+
 template <int D>
 bool is_linear(const std::vector<Octant<D>>& a) {
   for (std::size_t i = 0; i + 1 < a.size(); ++i) {
     if (!(a[i] < a[i + 1])) return false;
     if (contains(a[i], a[i + 1])) return false;
+  }
+  return true;
+}
+
+bool is_linear_keys(KeySpan a) {
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (!key_less(a[i], a[i + 1])) return false;
+    if (key_contains(a[i], a[i + 1])) return false;
   }
   return true;
 }
@@ -71,6 +149,21 @@ bool is_complete(const std::vector<Octant<D>>& a, const Octant<D>& root) {
 }
 
 template <int D>
+bool is_complete_keys(KeySpan a, okey_t root) {
+  if (a.empty()) return false;
+  if (key_interval_begin<D>(a[0]) != key_interval_begin<D>(root)) return false;
+  if (key_interval_end<D>(a[a.size() - 1]) != key_interval_end<D>(root)) {
+    return false;
+  }
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (key_interval_end<D>(a[i]) != key_interval_begin<D>(a[i + 1])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <int D>
 void fill_gap(const Octant<D>& root, std::optional<Octant<D>> after,
               std::optional<Octant<D>> before, std::vector<Octant<D>>& out) {
   const morton_t lo = after ? interval_end(*after) : interval_begin(root);
@@ -80,9 +173,29 @@ void fill_gap(const Octant<D>& root, std::optional<Octant<D>> after,
 }
 
 template <int D>
+std::vector<okey_t> complete_keys(KeySpan a, okey_t root) {
+  assert(is_linear_keys(a));
+  std::vector<okey_t> out;
+  out.reserve(a.size() * 2 + 8);
+  okey_t prev = 0;  // 0 = no predecessor (never a real key)
+  for (const okey_t o : a) {
+    assert(key_contains(root, o));
+    fill_gap_keys<D>(root, prev, o, out);
+    out.push_back(o);
+    prev = o;
+  }
+  fill_gap_keys<D>(root, prev, okey_t{0}, out);
+  return out;
+}
+
+template <int D>
 std::vector<Octant<D>> complete(const std::vector<Octant<D>>& a,
                                 const Octant<D>& root) {
   assert(is_linear(a));
+  if (core_layout() == CoreLayout::kKeySoA) {
+    const std::vector<okey_t> keys = octants_to_keys(a);
+    return keys_to_octants<D>(complete_keys<D>(keys, key_of(root)));
+  }
   std::vector<Octant<D>> out;
   out.reserve(a.size() * 2 + 8);
   std::optional<Octant<D>> prev;
@@ -118,16 +231,25 @@ std::size_t binary_find(const std::vector<Octant<D>>& a, const Octant<D>& q) {
   return npos;
 }
 
+std::size_t binary_find_keys(KeySpan a, okey_t q) {
+  const auto it = std::lower_bound(
+      a.begin(), a.end(), q, [](okey_t x, okey_t y) { return key_less(x, y); });
+  if (it != a.end() && *it == q) return static_cast<std::size_t>(it - a.begin());
+  return npos;
+}
+
 #define OCTBAL_INSTANTIATE(D)                                                  \
   template void linearize<D>(std::vector<Octant<D>>&);                         \
   template bool is_linear<D>(const std::vector<Octant<D>>&);                   \
   template bool is_complete<D>(const std::vector<Octant<D>>&,                  \
                                const Octant<D>&);                              \
+  template bool is_complete_keys<D>(KeySpan, okey_t);                          \
   template void fill_gap<D>(const Octant<D>&, std::optional<Octant<D>>,        \
                             std::optional<Octant<D>>,                          \
                             std::vector<Octant<D>>&);                          \
   template std::vector<Octant<D>> complete<D>(const std::vector<Octant<D>>&,   \
                                               const Octant<D>&);               \
+  template std::vector<okey_t> complete_keys<D>(KeySpan, okey_t);              \
   template std::pair<std::size_t, std::size_t> overlapping_range<D>(           \
       const std::vector<Octant<D>>&, const Octant<D>&);                        \
   template std::size_t binary_find<D>(const std::vector<Octant<D>>&,           \

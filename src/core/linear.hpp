@@ -5,10 +5,17 @@
 /// A sorted octant array is *linear* if no element is an ancestor of another
 /// (no overlaps) and *complete* if consecutive leaves leave no gaps, i.e. the
 /// array tiles its root exactly (Section III of the paper).
+///
+/// Each algorithm exists twice: the AoS reference over Octant<D> arrays and
+/// a key-native version over packed-key arrays (core/key.hpp) whose inner
+/// loops are prefix tests and shifts.  The AoS entry points dispatch on
+/// core_layout(); results are byte-identical either way
+/// (tests/test_core_differential.cpp).
 
 #include <optional>
 #include <vector>
 
+#include "core/key.hpp"
 #include "core/octant.hpp"
 
 namespace octbal {
@@ -19,13 +26,22 @@ namespace octbal {
 template <int D>
 void linearize(std::vector<Octant<D>>& a);
 
+/// Key-native Linearize: sort_keys plus a shift-and-compare ancestor drop.
+/// Dimension-independent.
+void linearize_keys(std::vector<okey_t>& a);
+
 /// True iff \p a is sorted, duplicate-free, and ancestor-free.
 template <int D>
 bool is_linear(const std::vector<Octant<D>>& a);
 
+bool is_linear_keys(KeySpan a);
+
 /// True iff the linear array \p a completely tiles \p root.
 template <int D>
 bool is_complete(const std::vector<Octant<D>>& a, const Octant<D>& root);
+
+template <int D>
+bool is_complete_keys(KeySpan a, okey_t root);
 
 /// Append to \p out the coarsest octants that tile the space inside \p root
 /// strictly between \p after and \p before (in Morton order).  Either bound
@@ -43,6 +59,11 @@ template <int D>
 std::vector<Octant<D>> complete(const std::vector<Octant<D>>& a,
                                 const Octant<D>& root);
 
+/// Key-native Complete: the same coarsest-tiling recursion with the Morton
+/// intervals and child descent computed by key shifts.
+template <int D>
+std::vector<okey_t> complete_keys(KeySpan a, okey_t root);
+
 /// Index of the first element of the sorted linear array \p a that overlaps
 /// octant \p q, and one past the last, as a half-open range.  Empty range if
 /// nothing overlaps.  An overlapping element is either a descendant of \p q
@@ -54,6 +75,9 @@ std::pair<std::size_t, std::size_t> overlapping_range(
 /// Binary search for an exact element.  Returns its index or npos.
 template <int D>
 std::size_t binary_find(const std::vector<Octant<D>>& a, const Octant<D>& q);
+
+/// Key-native exact binary search over a sorted key array.
+std::size_t binary_find_keys(KeySpan a, okey_t q);
 
 inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
 

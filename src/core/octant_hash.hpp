@@ -6,10 +6,19 @@
 /// in a hash table; the paper's new algorithm claims roughly 3x fewer hash
 /// queries than the old one.  The set therefore counts queries so the claim
 /// can be measured (bench/bench_subtree).
+///
+/// The set stores either array-of-Octant slots or packed-key SoA slots
+/// (8-byte keys, key 0 as the empty sentinel, tag bits in a parallel byte
+/// array), chosen at construction from core_layout().  Both layouts hash to
+/// the *same value* — key_hash unpacks to the (morton, level) pair that
+/// octant_hash mixes — so probe sequences, slot positions, grow schedule,
+/// collect order, and every HashStats counter are bit-identical across
+/// layouts (pinned by the perf guards and the differential battery).
 
 #include <cstdint>
 #include <vector>
 
+#include "core/key.hpp"
 #include "core/octant.hpp"
 
 namespace octbal {
@@ -25,14 +34,33 @@ struct HashStats {
   std::uint64_t rehash_probes = 0;  ///< slot inspections during grow()
 };
 
-/// Hash an octant: mix the Morton key and level through splitmix64.
-template <int D>
-inline std::uint64_t octant_hash(const Octant<D>& o) {
-  std::uint64_t z = morton_key(o) ^ (static_cast<std::uint64_t>(o.level) << 58);
+namespace detail {
+
+/// splitmix64 finalizer shared by both hash entry points.
+inline std::uint64_t hash_mix(std::uint64_t z) {
   z += 0x9e3779b97f4a7c15ull;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+/// Hash an octant: mix the Morton key and level through splitmix64.
+template <int D>
+inline std::uint64_t octant_hash(const Octant<D>& o) {
+  return detail::hash_mix(morton_key(o) ^
+                          (static_cast<std::uint64_t>(o.level) << 58));
+}
+
+/// Hash a packed key to the SAME value as octant_hash of the octant it
+/// encodes: the (morton, level) pair is recovered by shifts, so the mix
+/// input is bit-identical.  This identity is what keeps the pinned probe
+/// goldens layout-independent.
+template <int D>
+inline std::uint64_t key_hash(okey_t k) {
+  return detail::hash_mix(key_morton<D>(k) ^
+                          (static_cast<std::uint64_t>(key_level<D>(k)) << 58));
 }
 
 /// Open-addressing (linear probing) hash set storing octants by value, plus
@@ -41,46 +69,98 @@ template <int D>
 class OctantHashSet {
  public:
   explicit OctantHashSet(std::size_t expected = 16, HashStats* stats = nullptr)
-      : stats_(stats) {
+      : stats_(stats), use_keys_(core_layout() == CoreLayout::kKeySoA) {
     std::size_t cap = 16;
     while (cap < expected * 2) cap <<= 1;
-    slots_.resize(cap);
+    if (use_keys_) {
+      keys_.resize(cap, okey_t{0});
+      key_tags_.resize(cap, 0);
+    } else {
+      slots_.resize(cap);
+    }
   }
 
   /// Insert \p o; returns true if newly inserted.  Counts one query.
   bool insert(const Octant<D>& o) {
+    return use_keys_ ? insert_key(key_of(o)) : insert_aos(o);
+  }
+
+  /// Key-native insert.  Counts one query.
+  bool insert_key(okey_t k) {
+    assert(use_keys_);
     count_query();
-    std::size_t i = find_slot(o);
-    if (slots_[i].used) return false;
-    slots_[i] = Slot{o, true, false};
+    std::size_t i = find_key_slot(k);
+    if (keys_[i] != 0) return false;
+    keys_[i] = k;
     ++size_;
-    if (size_ * 2 > slots_.size()) grow();
+    if (size_ * 2 > keys_.size()) grow_keys();
     return true;
   }
 
   /// Membership test.  Counts one query.
   bool contains(const Octant<D>& o) const {
+    return use_keys_ ? contains_key(key_of(o)) : contains_aos(o);
+  }
+
+  bool contains_key(okey_t k) const {
+    assert(use_keys_);
     count_query();
-    return slots_[find_slot(o)].used;
+    return keys_[find_key_slot(k)] != 0;
   }
 
   /// Set the tag bit on an element already in the set (no-op if absent).
   void tag(const Octant<D>& o) {
+    if (use_keys_) {
+      tag_key(key_of(o));
+      return;
+    }
     const std::size_t i = find_slot(o);
     if (slots_[i].used) slots_[i].tagged = true;
   }
 
+  void tag_key(okey_t k) {
+    assert(use_keys_);
+    const std::size_t i = find_key_slot(k);
+    if (keys_[i] != 0) key_tags_[i] = 1;
+  }
+
   bool is_tagged(const Octant<D>& o) const {
+    if (use_keys_) return is_tagged_key(key_of(o));
     const std::size_t i = find_slot(o);
     return slots_[i].used && slots_[i].tagged;
   }
 
+  bool is_tagged_key(okey_t k) const {
+    assert(use_keys_);
+    const std::size_t i = find_key_slot(k);
+    return keys_[i] != 0 && key_tags_[i] != 0;
+  }
+
   std::size_t size() const { return size_; }
 
-  /// Append all (optionally only untagged) elements to \p out.
+  /// Append all (optionally only untagged) elements to \p out, in slot
+  /// order — identical across layouts because the slot layout is.
   void collect(std::vector<Octant<D>>& out, bool skip_tagged = false) const {
+    if (use_keys_) {
+      for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] != 0 && !(skip_tagged && key_tags_[i] != 0)) {
+          out.push_back(key_oct<D>(keys_[i]));
+        }
+      }
+      return;
+    }
     for (const Slot& s : slots_) {
       if (s.used && !(skip_tagged && s.tagged)) out.push_back(s.oct);
+    }
+  }
+
+  /// Key-native collect.
+  void collect_keys(std::vector<okey_t>& out, bool skip_tagged = false) const {
+    assert(use_keys_);
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0 && !(skip_tagged && key_tags_[i] != 0)) {
+        out.push_back(keys_[i]);
+      }
     }
   }
 
@@ -91,6 +171,21 @@ class OctantHashSet {
     bool tagged = false;
   };
 
+  bool insert_aos(const Octant<D>& o) {
+    count_query();
+    std::size_t i = find_slot(o);
+    if (slots_[i].used) return false;
+    slots_[i] = Slot{o, true, false};
+    ++size_;
+    if (size_ * 2 > slots_.size()) grow();
+    return true;
+  }
+
+  bool contains_aos(const Octant<D>& o) const {
+    count_query();
+    return slots_[find_slot(o)].used;
+  }
+
   std::size_t find_slot(const Octant<D>& o) const {
     return find_slot(o, stats_ ? &stats_->probes : nullptr);
   }
@@ -99,6 +194,20 @@ class OctantHashSet {
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = octant_hash(o) & mask;
     while (slots_[i].used && !(slots_[i].oct == o)) {
+      if (probes) ++*probes;
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  std::size_t find_key_slot(okey_t k) const {
+    return find_key_slot(k, stats_ ? &stats_->probes : nullptr);
+  }
+
+  std::size_t find_key_slot(okey_t k, std::uint64_t* probes) const {
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = key_hash<D>(k) & mask;
+    while (keys_[i] != 0 && keys_[i] != k) {
       if (probes) ++*probes;
       i = (i + 1) & mask;
     }
@@ -117,13 +226,32 @@ class OctantHashSet {
     }
   }
 
+  void grow_keys() {
+    std::vector<okey_t> old_keys;
+    std::vector<std::uint8_t> old_tags;
+    old_keys.swap(keys_);
+    old_tags.swap(key_tags_);
+    keys_.resize(old_keys.size() * 2, okey_t{0});
+    key_tags_.resize(old_tags.size() * 2, 0);
+    std::uint64_t* rehash = stats_ ? &stats_->rehash_probes : nullptr;
+    for (std::size_t j = 0; j < old_keys.size(); ++j) {
+      if (old_keys[j] == 0) continue;
+      std::size_t i = find_key_slot(old_keys[j], rehash);
+      keys_[i] = old_keys[j];
+      key_tags_[i] = old_tags[j];
+    }
+  }
+
   void count_query() const {
     if (stats_) ++stats_->queries;
   }
 
-  std::vector<Slot> slots_;
+  std::vector<Slot> slots_;            // AoS layout
+  std::vector<okey_t> keys_;           // key-SoA layout: 0 = empty
+  std::vector<std::uint8_t> key_tags_; // parallel tag bits
   std::size_t size_ = 0;
   HashStats* stats_ = nullptr;
+  bool use_keys_ = false;
 };
 
 }  // namespace octbal

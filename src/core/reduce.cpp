@@ -20,10 +20,8 @@ bool le(const Octant<D>& r, const Octant<D>& o) {
   return precludes_le(r, o);
 }
 
-}  // namespace
-
 template <int D>
-std::vector<Octant<D>> reduce(const std::vector<Octant<D>>& s) {
+std::vector<Octant<D>> reduce_aos(const std::vector<Octant<D>>& s) {
   std::vector<Octant<D>> r;
   if (s.empty()) return r;
   r.reserve(s.size() / num_children<D> + 1);
@@ -38,6 +36,34 @@ std::vector<Octant<D>> reduce(const std::vector<Octant<D>>& s) {
     }
   }
   return r;
+}
+
+}  // namespace
+
+template <int D>
+std::vector<okey_t> reduce_keys(KeySpan s) {
+  std::vector<okey_t> r;
+  if (s.empty()) return r;
+  r.reserve(s.size() / num_children<D> + 1);
+  r.push_back(key_zero_sibling<D>(s[0]));
+  for (std::size_t j = 1; j < s.size(); ++j) {
+    const okey_t c = key_zero_sibling<D>(s[j]);
+    okey_t& last = r.back();
+    if (key_precludes_lt<D>(last, c)) {
+      last = c;
+    } else if (!key_precludes_le<D>(c, last)) {
+      r.push_back(c);
+    }
+  }
+  return r;
+}
+
+template <int D>
+std::vector<Octant<D>> reduce(const std::vector<Octant<D>>& s) {
+  if (core_layout() == CoreLayout::kKeySoA) {
+    return keys_to_octants<D>(reduce_keys<D>(octants_to_keys(s)));
+  }
+  return reduce_aos(s);
 }
 
 template <int D>
@@ -55,10 +81,23 @@ std::size_t find_precluding_le(const std::vector<Octant<D>>& r,
   return npos;
 }
 
-#define OCTBAL_INSTANTIATE(D)                                             \
+template <int D>
+std::size_t find_precluding_le_keys(KeySpan r, okey_t q) {
+  const okey_t s = key_zero_sibling<D>(q);
+  auto it = std::upper_bound(r.begin(), r.end(), s,
+                             [](okey_t x, okey_t y) { return key_less(x, y); });
+  if (it == r.begin()) return npos;
+  --it;
+  if (key_precludes_le<D>(*it, q)) return static_cast<std::size_t>(it - r.begin());
+  return npos;
+}
+
+#define OCTBAL_INSTANTIATE(D)                                               \
   template std::vector<Octant<D>> reduce<D>(const std::vector<Octant<D>>&); \
+  template std::vector<okey_t> reduce_keys<D>(KeySpan);                     \
   template std::size_t find_precluding_le<D>(const std::vector<Octant<D>>&, \
-                                             const Octant<D>&);
+                                             const Octant<D>&);             \
+  template std::size_t find_precluding_le_keys<D>(KeySpan, okey_t);
 OCTBAL_INSTANTIATE(1)
 OCTBAL_INSTANTIATE(2)
 OCTBAL_INSTANTIATE(3)

@@ -8,9 +8,16 @@
 /// (the family representative).  For a complete linear octree S the result R
 /// satisfies |R| <= |S| / 2^D, and complete(R) == S: Reduce is a lossless
 /// compression of complete linear octrees.
+///
+/// The key-native path runs the same single-pass loop over packed keys with
+/// preclusion as shift-prefix tests; reduce() dispatches on core_layout().
+/// The per-query find_precluding_le keeps its AoS binary search (converting
+/// the array per query would defeat it); find_precluding_le_keys is the
+/// key-native entry for key-resident callers.
 
 #include <vector>
 
+#include "core/key.hpp"
 #include "core/linear.hpp"  // npos
 #include "core/octant.hpp"
 
@@ -21,6 +28,11 @@ namespace octbal {
 template <int D>
 std::vector<Octant<D>> reduce(const std::vector<Octant<D>>& s);
 
+/// Key-native Reduce: identical loop, preclusion via prefix tests on the
+/// parent keys (one shift each).
+template <int D>
+std::vector<okey_t> reduce_keys(KeySpan s);
+
 /// In the reduced sorted array \p r, find an element t with t <= q in the
 /// preclusion order (t's parent contains q's parent), the "single equivalent
 /// binary search" of Section III-B.  Returns its index or npos.  Because r
@@ -28,5 +40,9 @@ std::vector<Octant<D>> reduce(const std::vector<Octant<D>>& s);
 template <int D>
 std::size_t find_precluding_le(const std::vector<Octant<D>>& r,
                                const Octant<D>& q);
+
+/// Key-native single equivalent binary search over a reduced key array.
+template <int D>
+std::size_t find_precluding_le_keys(KeySpan r, okey_t q);
 
 }  // namespace octbal

@@ -9,10 +9,18 @@
 /// recursion never materializes interior nodes and visits each array
 /// element at most once per matching query, so a batch of Q point queries
 /// costs O(Q log N) rather than O(Q N).
+///
+/// The key-native variants run the identical recursion over packed keys
+/// (core/key.hpp): the child split is a shift-or, the range partition
+/// compares normalized keys, and point containment is a prefix test on the
+/// precomputed finest-cell key.  search_tree and locate_points dispatch on
+/// core_layout(); the per-query find_containing_leaf keeps its AoS binary
+/// search, with find_containing_leaf_keys as the key-resident entry.
 
 #include <functional>
 #include <vector>
 
+#include "core/key.hpp"
 #include "core/linear.hpp"
 #include "core/octant.hpp"
 
@@ -29,6 +37,13 @@ void search_tree(
     const std::function<bool(const Octant<D>&, std::size_t, std::size_t)>& pre,
     const std::function<void(const Octant<D>&, std::size_t)>& leaf);
 
+/// Key-native search_tree: the same traversal with packed-key callbacks.
+template <int D>
+void search_tree_keys(
+    KeySpan leaves, okey_t root,
+    const std::function<bool(okey_t, std::size_t, std::size_t)>& pre,
+    const std::function<void(okey_t, std::size_t)>& leaf);
+
 /// Index of the leaf containing the finest-level cell anchored at \p point
 /// coordinates (each in [0, root_len)), or npos if the array has a gap
 /// there.  O(log N).
@@ -36,12 +51,23 @@ template <int D>
 std::size_t find_containing_leaf(const std::vector<Octant<D>>& leaves,
                                  const std::array<coord_t, D>& point);
 
+/// Key-native point lookup over a sorted key array.
+template <int D>
+std::size_t find_containing_leaf_keys(KeySpan leaves,
+                                      const std::array<coord_t, D>& point);
+
 /// Batch point location via one shared top-down pass: for each query point
 /// the index of its containing leaf (or npos).  Faster than repeated
 /// find_containing_leaf when the points are many and spatially coherent.
 template <int D>
 std::vector<std::size_t> locate_points(
     const std::vector<Octant<D>>& leaves, const Octant<D>& root,
+    const std::vector<std::array<coord_t, D>>& points);
+
+/// Key-native batch point location (the kKeySoA body of locate_points).
+template <int D>
+std::vector<std::size_t> locate_points_keys(
+    KeySpan leaves, okey_t root,
     const std::vector<std::array<coord_t, D>>& points);
 
 }  // namespace octbal

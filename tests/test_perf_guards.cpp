@@ -31,10 +31,13 @@
 
 #include <gtest/gtest.h>
 
+#include "core/key.hpp"
+#include "core/sort.hpp"
 #include "forest/balance.hpp"
 #include "forest/ghost.hpp"
 #include "forest/repartition.hpp"
 #include "repartition_loop.hpp"
+#include "util/rng.hpp"
 #include "workload/workloads.hpp"
 
 namespace octbal {
@@ -89,6 +92,63 @@ TEST(PerfGuards, ExactHashStatsOnFixedWorkload) {
   EXPECT_EQ(rep.subtree.hash_rehash_probes, 0u);
   EXPECT_EQ(rep.subtree.binary_searches, 35846u);
   EXPECT_EQ(rep.subtree.sorted_octants, 49522u);
+}
+
+TEST(PerfGuards, RadixDigitPassGoldens) {
+  // The key radix sort's whole speed story is its pass schedule: one width
+  // pass when levels are mixed, then only the normalized-Morton bytes that
+  // actually vary.  Pinning the schedule on two fixed workloads means a
+  // regression in the skip-degenerate-pass logic (or a key encoding change
+  // that shifts where the live bits sit) fails tier-1 before it shows up
+  // as wall-clock.
+  {
+    // Uniform-random octants at all levels: every pass is live.
+    Rng rng(2012);
+    std::vector<Octant<3>> a;
+    const auto root = root_octant<3>();
+    for (int i = 0; i < 100000; ++i) {
+      a.push_back(random_octant(rng, root, max_level<3>));
+    }
+    auto keys = octants_to_keys(a);
+    RadixStats st;
+    sort_keys(keys, &st);
+    EXPECT_EQ(st.level_passes, 1u);
+    EXPECT_EQ(st.key_passes, 8u);
+    EXPECT_EQ(st.skipped_passes, 0u);
+    EXPECT_EQ(st.elements, 100000u);
+  }
+  {
+    // Shallow fractal leaves (levels <= 6): the fine-grid bytes of the
+    // normalized keys are constant zero and their passes must be skipped.
+    Forest<3> f = fig15_step2_forest();
+    std::vector<okey_t> keys;
+    for (const auto& to : f.gather()) keys.push_back(key_of(to.oct));
+    RadixStats st;
+    sort_keys(keys, &st);
+    EXPECT_EQ(st.elements, keys.size());
+    EXPECT_EQ(st.level_passes, 1u);
+    EXPECT_EQ(st.key_passes, 4u);
+    EXPECT_EQ(st.skipped_passes, 4u);
+  }
+}
+
+TEST(PerfGuards, HashGoldensAreLayoutIndependent) {
+  // The key-SoA hash set must compute the *same* hash values and probe
+  // sequences as the AoS reference — that identity is what keeps the exact
+  // goldens above meaningful under the default kKeySoA layout.  Run the
+  // same fixed workload pinned to the AoS path and require the identical
+  // counters, including zero rehashes (sizing covers the working set in
+  // both layouts).
+  ScopedCoreLayout aos(CoreLayout::kAoS);
+  Forest<3> f = fig15_step2_forest();
+  SimComm comm(16);
+  const BalanceReport rep = balance(f, BalanceOptions::new_config(), comm);
+  EXPECT_EQ(rep.subtree.hash_queries, 1229246u);
+  EXPECT_EQ(rep.subtree.hash_probes, 69136u);
+  EXPECT_EQ(rep.subtree.hash_rehash_probes, 0u);
+  EXPECT_EQ(rep.subtree.binary_searches, 35846u);
+  EXPECT_EQ(rep.subtree.sorted_octants, 49522u);
+  EXPECT_EQ(rep.octants_after, 239672u);
 }
 
 TEST(PerfGuards, OwnerResolutionStaysWindowed) {
