@@ -20,6 +20,7 @@
 ///                 [--trace trace.json]
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "forest/repartition.hpp"
 #include "harness.hpp"
 #include "obs/json.hpp"
+#include "obs/mem.hpp"
 #include "util/cli.hpp"
 #include "workload/workloads.hpp"
 
@@ -53,6 +55,12 @@ struct StepRecord {
   DeltaBalanceReport delta;
   double modeled_full = 0;
   double modeled_delta = 0;
+  /// Accounted peak bytes of the two passes over the identical churned
+  /// forest (each session starts with the mesh bytes on its ledger, so
+  /// the peaks compare like for like).  Incrementality must also win on
+  /// memory: delta <= full, asserted by the CI smoke.
+  std::uint64_t full_peak_bytes = 0;
+  std::uint64_t delta_peak_bytes = 0;
   bool identical = false;
 };
 
@@ -77,6 +85,8 @@ std::string churn_json(const std::vector<StepRecord>& steps, bool identical,
     w.kv("rounds", s.delta.rounds);
     w.kv("modeled_full", s.modeled_full);
     w.kv("modeled_delta", s.modeled_delta);
+    w.kv("full_peak_bytes", s.full_peak_bytes);
+    w.kv("delta_peak_bytes", s.delta_peak_bytes);
     const double red =
         s.modeled_full > 0 ? 1.0 - s.modeled_delta / s.modeled_full : 0.0;
     w.kv("reduction", red);
@@ -125,9 +135,11 @@ int main(int argc, char** argv) {
     f.clear_dirty();
 
     std::printf("P = %d\n", ranks);
-    std::printf("%4s %9s %7s %7s | %7s %6s %6s | %11s %11s %6s | %s\n",
+    std::printf("%4s %9s %7s %7s | %7s %6s %6s | %11s %11s %6s | %9s %9s "
+                "| %s\n",
                 "step", "octants", "refine", "coarse", "dirty", "constr",
-                "rounds", "full", "delta", "red%", "identical");
+                "rounds", "full", "delta", "red%", "fullMemB", "deltMemB",
+                "identical");
 
     std::vector<StepRecord> recs;
     RunResult last_full;
@@ -138,7 +150,11 @@ int main(int argc, char** argv) {
       front_refine(f, lmax, cp, t);
       rec.refined = f.global_num_octants() - before;
 
-      // Full reference on a copy of the identical churned forest.
+      // Full reference on a copy of the identical churned forest.  The
+      // memory session opens before the copy, so the copied mesh bytes
+      // (re-charged by the Forest copy) are on its ledger from the start.
+      std::optional<obs::MemSession> fullmem;
+      fullmem.emplace(ranks);
       Forest<3> ref = f;
       ref.clear_dirty();
       SimComm fc(ranks);
@@ -151,11 +167,22 @@ int main(int argc, char** argv) {
       full.rounds = fc.rounds();
       full.rounds_truncated = fc.rounds_truncated();
       full.critical_path = fc.critical_path();
+      full.memory = fullmem->snapshot();
+      full.max_rss_kb = current_max_rss_kb();
+      fullmem.reset();
       rec.modeled_full = full.modeled_time;
+      rec.full_peak_bytes = full.memory.peak_bytes;
 
-      // Delta pass on the live forest.
+      // Delta pass on the live forest; account_memory() charges the live
+      // mesh into the fresh session so both passes start from the same
+      // floor and the peaks are comparable.
       SimComm dc(ranks);
-      rec.delta = delta_balance(f, opt, dc);
+      {
+        obs::MemSession deltamem(ranks);
+        f.account_memory();
+        rec.delta = delta_balance(f, opt, dc);
+        rec.delta_peak_bytes = deltamem.snapshot().peak_bytes;
+      }
       rec.modeled_delta = dc.modeled_time();
 
 #ifdef CHURN_PHASE_DUMP
@@ -185,14 +212,17 @@ int main(int argc, char** argv) {
                              ? 1.0 - rec.modeled_delta / rec.modeled_full
                              : 0.0;
       std::printf("%4d %9llu %7llu %7llu | %7llu %6llu %6d | %11.4g %11.4g "
-                  "%5.1f%% | %s\n",
+                  "%5.1f%% | %9llu %9llu | %s\n",
                   t, static_cast<unsigned long long>(rec.octants),
                   static_cast<unsigned long long>(rec.refined),
                   static_cast<unsigned long long>(rec.coarsened),
                   static_cast<unsigned long long>(rec.delta.dirty_validated),
                   static_cast<unsigned long long>(rec.delta.constraints_sent),
                   rec.delta.rounds, rec.modeled_full, rec.modeled_delta,
-                  100.0 * red, rec.identical ? "yes" : "** DIVERGED **");
+                  100.0 * red,
+                  static_cast<unsigned long long>(rec.full_peak_bytes),
+                  static_cast<unsigned long long>(rec.delta_peak_bytes),
+                  rec.identical ? "yes" : "** DIVERGED **");
       recs.push_back(rec);
       last_full = full;
     }
@@ -207,8 +237,14 @@ int main(int argc, char** argv) {
       ++steady_n;
     }
     const double steady_mean = steady_n > 0 ? steady_sum / steady_n : 0.0;
-    std::printf("  steady-state reduction: min %.1f%%, mean %.1f%%\n\n",
-                100.0 * steady_min, 100.0 * steady_mean);
+    bool mem_ok = true;
+    for (const StepRecord& s : recs) {
+      mem_ok = mem_ok && s.delta_peak_bytes <= s.full_peak_bytes;
+    }
+    std::printf("  steady-state reduction: min %.1f%%, mean %.1f%%; "
+                "delta peak <= full peak every step: %s\n\n",
+                100.0 * steady_min, 100.0 * steady_mean,
+                mem_ok ? "yes" : "** NO **");
 
     const std::string algo = "churn/p" + std::to_string(ranks);
     report.add(algo.c_str(), last_full, 1.0, "churn",

@@ -42,14 +42,24 @@ int main(int argc, char** argv) {
       f.partition_uniform();
       return f;
     };
+    double peak_bpl[2] = {0, 0};  // accounted peak bytes/leaf, old vs new
     for (int variant = 0; variant < 2; ++variant) {
       const auto opt = variant == 0 ? BalanceOptions::old_config()
                                     : BalanceOptions::new_config();
       const RunResult r = run_balance<3>(build, ranks, opt);
       const double moctants_per_rank =
           static_cast<double>(r.octants) / 1e6 / ranks;
+      if (r.rep.octants_after > 0) {
+        peak_bpl[variant] = static_cast<double>(r.memory.peak_bytes) /
+                            static_cast<double>(r.rep.octants_after);
+      }
       print_phase_row(r, variant == 0 ? "old" : "new", moctants_per_rank);
       report.add(variant == 0 ? "old" : "new", r, moctants_per_rank);
+    }
+    if (peak_bpl[0] > 0 && peak_bpl[1] > 0) {
+      std::printf("%30s mem peak: old %.1f B/leaf, new %.1f B/leaf "
+                  "(%.2fx)\n",
+                  "", peak_bpl[0], peak_bpl[1], peak_bpl[0] / peak_bpl[1]);
     }
   }
   std::printf("\n(paper: old/new ratio 3.4-3.9x at every scale; new bars "

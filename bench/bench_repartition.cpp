@@ -16,7 +16,7 @@
 ///
 /// Workloads are the paper's evaluation pair (fractal Figure 15 mesh and
 /// the synthetic ice-sheet mesh) at P ∈ {16, 64}.  The report (schema
-/// octbal-bench-report-v2) carries a per-run "repartition" section with
+/// octbal-bench-report-v3) carries a per-run "repartition" section with
 /// the slack trajectory, rounds-to-converge and the modeled migration
 /// traffic — the machine-independent goldens tests/test_perf_guards.cpp
 /// and the CI baseline diff pin.

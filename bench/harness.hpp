@@ -25,7 +25,12 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "forest/balance.hpp"
+#include "obs/mem.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -77,7 +82,31 @@ struct RunResult {
   /// bench ran with --flight).
   std::vector<SimComm::FlightRound> flight;
   std::uint64_t flight_truncated = 0;
+  /// Deterministic memory accounting: per-tag / per-phase peak bytes from
+  /// the run's MemSession (empty when OCTBAL_OBS_DISABLE compiled the
+  /// hooks out).  Byte-identical across thread counts and scrambles, so
+  /// the report diff pins it exactly.
+  obs::MemSnapshot memory;
+  /// getrusage max-RSS in KB at the end of the run; -1 where unsupported.
+  /// Whole-process and allocator-dependent, so it is a timing-class field:
+  /// reported for context, never diffed.
+  std::int64_t max_rss_kb = -1;
 };
+
+/// Process high-water RSS in KB (getrusage), -1 on platforms without it.
+inline std::int64_t current_max_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss / 1024);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // KB on Linux/BSD
+#endif
+#else
+  return -1;
+#endif
+}
 
 /// Balance a freshly built forest (the builder is invoked so that old and
 /// new variants see identical meshes) and verify the result.  A failed
@@ -86,6 +115,10 @@ struct RunResult {
 /// configuration is fully described.
 template <int D, typename Builder>
 RunResult run_balance(Builder&& build, int ranks, const BalanceOptions& opt) {
+  // The memory session brackets mesh construction through the last comm
+  // barrier; the snapshot is taken *before* the 2:1 validation so the
+  // oracle's own scratch never pollutes the accounted peaks.
+  obs::MemSession mem(ranks);
   Forest<D> f = build(ranks);
   RunResult r;
   r.ranks = ranks;
@@ -99,6 +132,8 @@ RunResult run_balance(Builder&& build, int ranks, const BalanceOptions& opt) {
   r.critical_path = comm.critical_path();
   r.flight = comm.flight();
   r.flight_truncated = comm.flight_truncated();
+  r.memory = mem.snapshot();
+  r.max_rss_kb = current_max_rss_kb();
   const int k = opt.k == 0 ? D : opt.k;
   if (!forest_is_balanced(f.gather(), f.connectivity(), k)) {
     r.ok = false;
@@ -230,13 +265,14 @@ class BenchReport {
 
   bool all_ok() const { return all_ok_; }
 
-  /// The complete run-report document (schema octbal-bench-report-v2).
+  /// The complete run-report document (schema octbal-bench-report-v3:
+  /// v2 plus the per-run "memory" section and the non-diffed max_rss_kb).
   /// Public so tests can round-trip the exact bytes through
   /// obs::json_parse without touching the filesystem.
   std::string json() const {
     obs::JsonWriter w;
     w.begin_object();
-    w.kv("schema", "octbal-bench-report-v2");
+    w.kv("schema", "octbal-bench-report-v3");
     w.kv("bench", bench_);
     w.kv("threads", par::num_threads());
     w.kv("ok", all_ok_);
@@ -257,6 +293,13 @@ class BenchReport {
       w.kv("norm", row.norm);
       obs::balance_report_json(w, row.result.rep);
       w.kv("modeled_time", row.result.modeled_time);
+      if (!row.result.memory.empty()) {
+        w.key("memory");
+        row.result.memory.to_json(w, row.result.rep.octants_after);
+      }
+      if (row.result.max_rss_kb >= 0) {
+        w.kv("max_rss_kb", row.result.max_rss_kb);
+      }
       w.key("metrics");
       row.result.metrics.to_json(w);
       w.key("rounds");

@@ -131,6 +131,9 @@ int main(int argc, char** argv) {
                   static_cast<long long>(f.divergent_round),
                   f.divergent_phase.c_str(), f.divergent_edge.c_str());
     }
+    if (!f.mem_summary.empty()) {
+      std::printf("  memory: %s\n", f.mem_summary.c_str());
+    }
     std::printf("  minimized to %zu octants; regression test:\n\n%s\n",
                 f.repro_octants, f.repro.c_str());
   }

@@ -7,6 +7,11 @@
 ///   octbal_inspect critpath <run.json>
 ///       Per-phase BSP critical-path attribution: which rank bounded how
 ///       many rounds, modeled time vs. perfectly-balanced time, slack.
+///   octbal_inspect mem      <run.json>
+///       Deterministic memory accounting of every run: whole-run peak
+///       bytes (and bytes per leaf), per-tag subsystem totals with
+///       per-rank reductions, per-phase peaks, and the non-diffed
+///       process max-RSS for context.
 ///   octbal_inspect diff     <baseline.json> <fresh.json> [--tol R] [--json]
 ///       Structured comparison.  Machine-independent fields (counters,
 ///       traffic, round matrices) must match exactly; timing fields are
@@ -46,6 +51,7 @@ int usage() {
       stderr,
       "usage: octbal_inspect report   <run.json>\n"
       "       octbal_inspect critpath <run.json>\n"
+      "       octbal_inspect mem      <run.json>\n"
       "       octbal_inspect diff     <baseline.json> <fresh.json>"
       " [--tol R] [--json]\n"
       "       octbal_inspect flight   <flight.json>\n"
@@ -102,14 +108,17 @@ int main(int argc, char** argv) {
   if (!cmd) return usage();
 
   using namespace octbal::obs;
-  if (std::strcmp(cmd, "report") == 0 || std::strcmp(cmd, "critpath") == 0) {
+  if (std::strcmp(cmd, "report") == 0 || std::strcmp(cmd, "critpath") == 0 ||
+      std::strcmp(cmd, "mem") == 0) {
     if (files.size() != 1) return usage();
     JsonValue doc;
     if (!load_json(files[0], doc)) return 2;
     std::string err;
     const std::string text = std::strcmp(cmd, "report") == 0
                                  ? render_report(doc, &err)
-                                 : render_critical_path(doc, &err);
+                             : std::strcmp(cmd, "critpath") == 0
+                                 ? render_critical_path(doc, &err)
+                                 : render_mem(doc, &err);
     if (!err.empty()) {
       std::fprintf(stderr, "octbal_inspect: %s: %s\n", files[0], err.c_str());
       return 2;

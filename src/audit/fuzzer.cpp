@@ -33,11 +33,13 @@ bool run_case_d(const CaseConfig& cfg, const FuzzOptions& opt,
     out->repro = Shrinker::regression_source<D>(s.cfg, min, s.report);
     out->repro_octants = s.leaves.size();
     adopt_attribution(s.report);
+    if (opt.jobs <= 1) out->mem_summary = case_mem_summary<D>(s.cfg, min);
   } else {
     out->config = describe(cfg);
     out->repro = Shrinker::regression_source<D>(cfg, data, rep);
     out->repro_octants = data.leaves.size();
     adopt_attribution(rep);
+    if (opt.jobs <= 1) out->mem_summary = case_mem_summary<D>(cfg, data);
   }
   return false;
 }
@@ -162,6 +164,9 @@ std::string fuzz_summary_json(const FuzzOptions& opt,
     if (!f.flight_doc.empty()) {
       w.key("flight");
       w.raw(f.flight_doc);
+    }
+    if (!f.mem_summary.empty()) {
+      w.kv("mem", f.mem_summary);
     }
     w.end_object();
   }

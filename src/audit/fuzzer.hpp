@@ -40,6 +40,11 @@ struct FuzzFailure {
   std::string divergent_phase;
   std::string divergent_edge;
   std::string flight_doc;
+  /// Peak-bytes summary of an accounted re-run of the (shrunk) failing
+  /// case: "peak_bytes=N tag=N ...".  Captured only in single-job runs —
+  /// the memory session is process-global, so concurrent jobs would
+  /// charge into it — and empty under OCTBAL_OBS_DISABLE.
+  std::string mem_summary;
 };
 
 /// Outcome of one fuzzed seed, for the machine-readable sweep summary.

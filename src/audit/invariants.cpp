@@ -1,5 +1,7 @@
 #include "audit/invariants.hpp"
 
+#include <mutex>
+#include <optional>
 #include <sstream>
 
 #include "core/balance_subtree.hpp"
@@ -8,6 +10,7 @@
 #include "core/seeds.hpp"
 #include "forest/delta_balance.hpp"
 #include "obs/analysis.hpp"
+#include "obs/mem.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -18,17 +21,20 @@ template <int D>
 struct PipelineRun {
   std::vector<TreeOct<D>> got;
   std::string metrics;
+  std::string mem;  ///< serialized memory section (flags.account_mem only)
   bool valid = false;
   std::vector<SimComm::FlightRound> flight;  ///< empty unless flags.flight
   std::uint64_t flight_truncated = 0;
 };
 
 /// Per-run switches for divergence attribution: record the flight log,
-/// and/or carry the case's fault channel into the repartition rounds (the
-/// way the repartition/preserves_content block does).
+/// carry the case's fault channel into the repartition rounds (the way
+/// the repartition/preserves_content block does), and/or wrap the run in
+/// a memory-accounting session.
 struct RunFlags {
   bool flight = false;
   bool inject_repartition = false;
+  bool account_mem = false;
 };
 
 template <int D>
@@ -39,6 +45,10 @@ PipelineRun<D> run_pipeline(const CaseConfig& cfg, const CaseData<D>& data,
   // case's core layout, so a key-SoA divergence reproduces wherever the
   // case does.
   ScopedCoreLayout layout(cfg.layout);
+  // The session (when requested) must be live before the forest exists so
+  // construction-time charges land in it.
+  std::optional<obs::MemSession> mem;
+  if (flags.account_mem) mem.emplace(ranks);
   Forest<D> f(data.conn, ranks, data.leaves);
   switch (cfg.partition) {
     case PartitionKind::kEven:
@@ -75,6 +85,7 @@ PipelineRun<D> run_pipeline(const CaseConfig& cfg, const CaseData<D>& data,
   run.metrics = comm.metrics().snapshot().serialize();
   run.flight = comm.flight();
   run.flight_truncated = comm.flight_truncated();
+  if (mem) run.mem = mem->snapshot().serialize();
   return run;
 }
 
@@ -451,11 +462,16 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
   // Thread-count determinism: gathered forest and serialized metrics must
   // be byte-identical across pool sizes.
   if (cfg.check_threads && cfg.threads > 1) {
+    // check_threads implies a single-job fuzzer, so the process-global
+    // memory session sees only this pipeline's charges and the accounted
+    // sections can be compared byte for byte.
+    RunFlags mf;
+    mf.account_mem = true;
     const int saved = par::num_threads();
     par::set_num_threads(1);
-    const PipelineRun<D> t1 = run_pipeline(cfg, data, cfg.opt, cfg.ranks);
+    const PipelineRun<D> t1 = run_pipeline(cfg, data, cfg.opt, cfg.ranks, mf);
     par::set_num_threads(cfg.threads);
-    const PipelineRun<D> tn = run_pipeline(cfg, data, cfg.opt, cfg.ranks);
+    const PipelineRun<D> tn = run_pipeline(cfg, data, cfg.opt, cfg.ranks, mf);
     par::set_num_threads(saved);
     if (t1.got != tn.got) {
       return with_divergence<D>(
@@ -473,6 +489,16 @@ InvariantReport Invariants::check(const CaseConfig& cfg,
                   std::to_string(cfg.threads) + " threads"),
           cfg, data, DivergencePair::kThreads);
     }
+    if (t1.mem != tn.mem) {
+      return with_divergence<D>(
+          InvariantReport::fail(
+              "memory/thread_invariance",
+              "memory accounting not byte-identical between 1 and " +
+                  std::to_string(cfg.threads) +
+                  " threads (a kernel sized a buffer from "
+                  "thread-dependent state)"),
+          cfg, data, DivergencePair::kThreads);
+    }
   }
 
   InvariantReport rep = InvariantReport::pass();
@@ -484,5 +510,28 @@ template InvariantReport Invariants::check<2>(const CaseConfig&,
                                               const CaseData<2>&);
 template InvariantReport Invariants::check<3>(const CaseConfig&,
                                               const CaseData<3>&);
+
+template <int D>
+std::string case_mem_summary(const CaseConfig& cfg, const CaseData<D>& data) {
+  // One accounted re-run at a time: the accountant is process-global.
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  obs::MemSession mem(cfg.ranks);
+  run_pipeline(cfg, data, cfg.opt, cfg.ranks);
+  const obs::MemSnapshot m = mem.snapshot();
+  if (m.empty()) return {};  // OCTBAL_OBS_DISABLE build
+  std::string s = "peak_bytes=" + std::to_string(m.peak_bytes);
+  for (const auto& t : m.tags) {
+    s += ' ';
+    s += obs::mem_tag_name(t.tag);
+    s += '=' + std::to_string(t.total);
+  }
+  return s;
+}
+
+template std::string case_mem_summary<2>(const CaseConfig&,
+                                         const CaseData<2>&);
+template std::string case_mem_summary<3>(const CaseConfig&,
+                                         const CaseData<3>&);
 
 }  // namespace octbal::audit

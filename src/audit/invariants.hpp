@@ -37,6 +37,13 @@
 ///   "thread_determinism"    — gathered forest and serialized obs metrics
 ///                             are byte-identical at 1 and cfg.threads
 ///                             pool threads.
+///   "memory/thread_invariance"
+///                           — the accounted memory section (per-tag,
+///                             per-rank, per-phase peaks) of the same two
+///                             runs is byte-identical: the accountant
+///                             tracks logical capacity transitions, so a
+///                             diff means a kernel sized a buffer from
+///                             thread-dependent state.
 ///
 /// Tier::kLarge skips the oracle re-runs (serial_diff, old_new_diff,
 /// seed_oracle) and keeps everything else, which is what lets the fuzzer
@@ -84,5 +91,13 @@ struct Invariants {
   template <int D>
   static InvariantReport check(const CaseConfig& cfg, const CaseData<D>& data);
 };
+
+/// One-line accounted re-run of a case's pipeline ("peak_bytes=N tag=N
+/// ..."), for fuzz failure reports.  Installs the process-global memory
+/// session (mutex-serialized against other summaries); call from
+/// single-job contexts only, or concurrently running pipelines charge
+/// their bytes into this case's figures.
+template <int D>
+std::string case_mem_summary(const CaseConfig& cfg, const CaseData<D>& data);
 
 }  // namespace octbal::audit

@@ -71,6 +71,10 @@ SimComm::PhaseCost& SimComm::phase_cost() {
 void SimComm::send(int from, int to, std::vector<std::uint8_t> data) {
   assert(0 <= from && from < size());
   assert(0 <= to && to < size());
+  // In-flight payload, attributed to the sender until deliver() hands it
+  // to the receiver.  Charged against the sender's own slot, which is the
+  // calling thread's rank in the BSP engine.
+  obs::mem_charge(from, obs::MemTag::kCommMailbox, data.size());
   // Per-sender staging: rank bodies run concurrently between barriers, so
   // two ranks may post at once; each stages into its own outbox under its
   // own (uncontended in the BSP engine) mutex.  Cross-sender delivery
@@ -95,6 +99,11 @@ void SimComm::deliver() {
     std::map<int, RoundEntry> by_dest;
     std::map<int, FlightEdge> by_dest_flight;
     for (auto& p : src) {
+      // Hand the payload's attribution from sender to receiver.  The
+      // barrier is serial, so this canonical outbox walk makes mailbox
+      // peaks independent of thread count and delivery scrambling.
+      obs::mem_release(p.from, obs::MemTag::kCommMailbox, p.data.size());
+      obs::mem_charge(p.to, obs::MemTag::kCommMailbox, p.data.size());
       stats_.messages += 1;
       stats_.bytes += p.data.size();
       per_rank[p.from].messages += 1;
@@ -197,6 +206,8 @@ void SimComm::deliver() {
         recorded_entries_ + round.entries.size() <= round_record_limit_) {
       recorded_entries_ += round.entries.size();
       rounds_.push_back(std::move(round));
+      rounds_mem_.set(obs::MemTag::kFlightRecorder,
+                      recorded_entries_ * sizeof(RoundEntry));
     } else {
       rounds_truncated_ += 1;
     }
@@ -207,6 +218,9 @@ void SimComm::deliver() {
         flight_recorded_edges_ + fround.edges.size() <= flight_record_limit_) {
       flight_recorded_edges_ += fround.edges.size();
       flight_.push_back(std::move(fround));
+      flight_mem_.set(obs::MemTag::kFlightRecorder,
+                      flight_recorded_edges_ * sizeof(FlightEdge) +
+                          flight_payload_used_);
     } else {
       flight_truncated_ += 1;
     }
@@ -238,6 +252,11 @@ std::vector<SimMessage> SimComm::recv_all(int rank) {
   assert(0 <= rank && rank < size());
   std::vector<SimMessage> out;
   out.swap(inbox_[rank]);
+  // Drained payloads leave the mailbox: the caller owns them now (and
+  // typically accounts them under its own staging tag).
+  for (const SimMessage& m : out) {
+    obs::mem_release(rank, obs::MemTag::kCommMailbox, m.data.size());
+  }
   return out;
 }
 
@@ -283,6 +302,8 @@ void SimComm::reset_stats() {
   flight_recorded_edges_ = 0;
   flight_truncated_ = 0;
   flight_payload_used_ = 0;
+  rounds_mem_.set(obs::MemTag::kFlightRecorder, 0);
+  flight_mem_.set(obs::MemTag::kFlightRecorder, 0);
   phases_.clear();
   barrier_seconds_ = 0.0;
   // The metrics registry intentionally keeps accumulating: snapshots are

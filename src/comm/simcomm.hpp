@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/stats.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 
 namespace octbal {
@@ -179,7 +180,12 @@ class SimComm {
   /// in the critical-path accounting.  Engine-level: call from the
   /// orchestrating thread only (the pipelines bracket their comm steps,
   /// e.g. "balance/notify", and restore the previous label on exit).
-  void set_phase(std::string name) { phase_ = std::move(name); }
+  void set_phase(std::string name) {
+    phase_ = std::move(name);
+    // Memory accounting folds its per-phase peaks at the same barriers the
+    // critical-path profiler does, so the two phase breakdowns line up.
+    obs::mem_set_phase(phase_);
+  }
   const std::string& phase() const { return phase_; }
 
   /// Per-phase critical-path summary: for each phase label, the number of
@@ -357,6 +363,12 @@ class SimComm {
   std::string phase_ = "run";
   std::vector<PhaseCost> phases_;  ///< first-charge order
   double barrier_seconds_ = 0.0;
+  // Memory accounting (obs/mem.hpp).  Mailbox bytes are charged per rank
+  // slot by send/deliver/recv_all (free-function charges: in-flight
+  // payloads, attributed to the sender until delivery and the receiver
+  // after).  The two recorder stores are engine-level capacities.
+  obs::MemScope rounds_mem_;  ///< round matrices (kFlightRecorder)
+  obs::MemScope flight_mem_;  ///< flight log + payloads (kFlightRecorder)
   // Cached registry entries for the delivery loop (lookup is mutexed).
   obs::Counter* c_msgs_sent_ = nullptr;
   obs::Counter* c_bytes_sent_ = nullptr;

@@ -8,6 +8,7 @@
 #include "core/octant_hash.hpp"
 #include "core/reduce.hpp"
 #include "core/sort.hpp"
+#include "obs/mem.hpp"
 
 namespace octbal {
 
@@ -93,6 +94,8 @@ std::vector<Octant<D>> balance_subtree_old(const std::vector<Octant<D>>& s,
   std::vector<Octant<D>> merged(s.begin(), s.end());
   w.collect(merged);
   local.sorted_octants = merged.size();
+  const obs::MemScope working(obs::MemTag::kInsulation,
+                              merged.size() * sizeof(Octant<D>));
   linearize(merged);  // sorts and removes the overlap between parents/leaves
   drop_outside(merged, root);
   std::vector<Octant<D>> out = complete(merged, root);  // no-op when complete
@@ -180,6 +183,8 @@ std::vector<Octant<D>> balance_subtree_new(const std::vector<Octant<D>>& s,
   }
   w.collect(merged, /*skip_tagged=*/true);
   local.sorted_octants = merged.size();
+  const obs::MemScope working(obs::MemTag::kInsulation,
+                              merged.size() * sizeof(Octant<D>));
   sort_octants(merged);
   // The explicit tags above catch preclusions against R and against the
   // octant being processed; preclusions between two *new* octants from

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/sort.hpp"
+#include "obs/mem.hpp"
 
 namespace octbal {
 
@@ -72,6 +73,8 @@ void linearize_aos(std::vector<Octant<D>>& a) {
 template <int D>
 void linearize_keyed(std::vector<Octant<D>>& a) {
   const std::size_t n = a.size();
+  const obs::MemScope records(obs::MemTag::kLinearize,
+                              2 * n * sizeof(detail::KeyRec));
   std::vector<detail::KeyRec> cur, tmp;
   cur.reserve(n);
   for (const Octant<D>& o : a) cur.push_back(detail::key_rec_of(o));
@@ -175,6 +178,8 @@ void fill_gap(const Octant<D>& root, std::optional<Octant<D>> after,
 template <int D>
 std::vector<okey_t> complete_keys(KeySpan a, okey_t root) {
   assert(is_linear_keys(a));
+  const obs::MemScope fill(obs::MemTag::kLinearize,
+                           (a.size() * 2 + 8) * sizeof(okey_t));
   std::vector<okey_t> out;
   out.reserve(a.size() * 2 + 8);
   okey_t prev = 0;  // 0 = no predecessor (never a real key)
@@ -196,6 +201,8 @@ std::vector<Octant<D>> complete(const std::vector<Octant<D>>& a,
     const std::vector<okey_t> keys = octants_to_keys(a);
     return keys_to_octants<D>(complete_keys<D>(keys, key_of(root)));
   }
+  const obs::MemScope fill(obs::MemTag::kLinearize,
+                           (a.size() * 2 + 8) * sizeof(Octant<D>));
   std::vector<Octant<D>> out;
   out.reserve(a.size() * 2 + 8);
   std::optional<Octant<D>> prev;

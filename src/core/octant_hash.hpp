@@ -20,6 +20,7 @@
 
 #include "core/key.hpp"
 #include "core/octant.hpp"
+#include "obs/mem.hpp"
 
 namespace octbal {
 
@@ -78,6 +79,7 @@ class OctantHashSet {
     } else {
       slots_.resize(cap);
     }
+    account(0);
   }
 
   /// Insert \p o; returns true if newly inserted.  Counts one query.
@@ -218,12 +220,14 @@ class OctantHashSet {
     std::vector<Slot> old;
     old.swap(slots_);
     slots_.resize(old.size() * 2);
+    account(old.size() * sizeof(Slot));
     std::uint64_t* rehash = stats_ ? &stats_->rehash_probes : nullptr;
     for (const Slot& s : old) {
       if (!s.used) continue;
       std::size_t i = find_slot(s.oct, rehash);
       slots_[i] = s;
     }
+    account(0);
   }
 
   void grow_keys() {
@@ -233,6 +237,7 @@ class OctantHashSet {
     old_tags.swap(key_tags_);
     keys_.resize(old_keys.size() * 2, okey_t{0});
     key_tags_.resize(old_tags.size() * 2, 0);
+    account(old_keys.size() * (sizeof(okey_t) + sizeof(std::uint8_t)));
     std::uint64_t* rehash = stats_ ? &stats_->rehash_probes : nullptr;
     for (std::size_t j = 0; j < old_keys.size(); ++j) {
       if (old_keys[j] == 0) continue;
@@ -240,10 +245,24 @@ class OctantHashSet {
       keys_[i] = old_keys[j];
       key_tags_[i] = old_tags[j];
     }
+    account(0);
   }
 
   void count_query() const {
     if (stats_) ++stats_->queries;
+  }
+
+  /// Account the slot-array capacity (a logical transition: ctor sizing
+  /// and every grow).  \p transient_extra adds the old array that is
+  /// still live during a grow's rehash, so the rehash high-water is
+  /// captured; the follow-up account(0) settles back to steady state.
+  /// Capacity depends on the slot record size, so the accounted bytes are
+  /// layout-dependent (pinned per CoreLayout, unlike the probe counters).
+  void account(std::size_t transient_extra) {
+    const std::size_t bytes =
+        use_keys_ ? keys_.size() * (sizeof(okey_t) + sizeof(std::uint8_t))
+                  : slots_.size() * sizeof(Slot);
+    mem_.set(obs::MemTag::kHashSlots, bytes + transient_extra);
   }
 
   std::vector<Slot> slots_;            // AoS layout
@@ -252,6 +271,7 @@ class OctantHashSet {
   std::size_t size_ = 0;
   HashStats* stats_ = nullptr;
   bool use_keys_ = false;
+  obs::MemScope mem_;                  // live slot-array bytes (kHashSlots)
 };
 
 }  // namespace octbal

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/neighborhood.hpp"
+#include "obs/mem.hpp"
 
 namespace octbal {
 
@@ -21,24 +22,61 @@ std::vector<Octant<D>> envelope_pieces(const Octant<D>& o) {
 template <int D>
 std::vector<Octant<D>> dirty_region_cover(
     const std::vector<Octant<D>>& dirty) {
+  // The pieces buffer is processed in fixed-size chunks so the scratch
+  // stays bounded no matter how large the dirty set grows (an unchunked
+  // buffer would dominate the delta-balance memory peak).  Each chunk is
+  // sorted and reduced to its coarsest pieces, then merged into the
+  // running cover with the same drop rule: maximality under containment
+  // is associative — a piece dominated within its chunk is dominated in
+  // the union, and its dominator survives into the merge — so the result
+  // is identical to covering all pieces in one pass.
+  constexpr std::size_t kChunk = 512;
+  const std::size_t per = full_offsets<D>().size() + 1;
+  const std::size_t chunk = std::min(dirty.size(), kChunk);
   std::vector<Octant<D>> pieces;
-  pieces.reserve(dirty.size() * (full_offsets<D>().size() + 1));
-  Octant<D> n;
-  for (const auto& o : dirty) {
-    pieces.push_back(o);
-    for (const auto& off : full_offsets<D>()) {
-      if (neighbor_in_root<D>(o, off, &n)) pieces.push_back(n);
-    }
-  }
-  std::sort(pieces.begin(), pieces.end());
-  // Keep the coarsest pieces.  In Morton preorder a container sorts before
-  // everything it contains, and any earlier non-adjacent container would
-  // also contain the intervening kept piece — so comparing against the
-  // last kept piece alone is exact (the dual of Linearize).
+  pieces.reserve(chunk * per);
+  const obs::MemScope scratch(obs::MemTag::kRegionCover,
+                              chunk * per * sizeof(Octant<D>));
+  obs::MemScope cover_mem;
   std::vector<Octant<D>> out;
-  for (const auto& p : pieces) {
-    if (!out.empty() && contains(out.back(), p)) continue;
-    out.push_back(p);
+  std::vector<Octant<D>> merged;
+  Octant<D> n;
+  for (std::size_t c0 = 0; c0 < dirty.size(); c0 += chunk) {
+    const std::size_t c1 = std::min(dirty.size(), c0 + chunk);
+    pieces.clear();
+    for (std::size_t q = c0; q < c1; ++q) {
+      pieces.push_back(dirty[q]);
+      for (const auto& off : full_offsets<D>()) {
+        if (neighbor_in_root<D>(dirty[q], off, &n)) pieces.push_back(n);
+      }
+    }
+    std::sort(pieces.begin(), pieces.end());
+    // Keep the coarsest pieces.  In Morton preorder a container sorts
+    // before everything it contains, and any earlier non-adjacent
+    // container would also contain the intervening kept piece — so
+    // comparing against the last kept piece alone is exact (the dual of
+    // Linearize).
+    std::size_t w = 0;
+    for (std::size_t t = 0; t < pieces.size(); ++t) {
+      if (w > 0 && contains(pieces[w - 1], pieces[t])) continue;
+      pieces[w++] = pieces[t];
+    }
+    pieces.resize(w);
+    cover_mem.set(obs::MemTag::kRegionCover,
+                  2 * (out.size() + pieces.size()) * sizeof(Octant<D>));
+    merged.clear();
+    merged.reserve(out.size() + pieces.size());
+    std::size_t a = 0, b = 0;
+    const auto push = [&](const Octant<D>& p) {
+      if (!merged.empty() && contains(merged.back(), p)) return;
+      merged.push_back(p);
+    };
+    while (a < out.size() && b < pieces.size()) {
+      push(pieces[b] < out[a] ? pieces[b++] : out[a++]);
+    }
+    while (a < out.size()) push(out[a++]);
+    while (b < pieces.size()) push(pieces[b++]);
+    out.swap(merged);
   }
   return out;
 }

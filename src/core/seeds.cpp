@@ -6,6 +6,7 @@
 #include "core/lambda.hpp"
 #include "core/linear.hpp"
 #include "core/neighborhood.hpp"
+#include "obs/mem.hpp"
 
 namespace octbal {
 
@@ -41,6 +42,10 @@ std::vector<Octant<D>> balance_seeds(const Octant<D>& o, const Octant<D>& r,
       work.push_back(t);
     }
   }
+  // Accounted at the closure's high-water point: the generator set plus the
+  // last probed neighborhood (the deque never exceeds the generator count).
+  const obs::MemScope seeds_mem(
+      obs::MemTag::kSeeds, (out.size() + nbhd.size()) * sizeof(Octant<D>));
   linearize(out);
   return out;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/mem.hpp"
+
 namespace octbal {
 
 namespace {
@@ -53,6 +55,8 @@ void sort_octants_aos(std::vector<Octant<D>>& a) {
     morton_t key;
     Octant<D> oct;
   };
+  const obs::MemScope scratch(obs::MemTag::kSortScratch,
+                              2 * n * sizeof(Rec));
   std::vector<Rec> cur(n), tmp(n);
   int key_bytes = (D * (max_level<D> + 2) + 7) / 8;
   // Track which bytes actually vary: a byte where OR == AND is constant
@@ -108,6 +112,8 @@ void sort_octants_aos(std::vector<Octant<D>>& a) {
 template <int D>
 void sort_octants_keyed(std::vector<Octant<D>>& a) {
   const std::size_t n = a.size();
+  const obs::MemScope scratch(obs::MemTag::kSortScratch,
+                              2 * n * sizeof(KeyRec));
   std::vector<KeyRec> cur, tmp;
   cur.reserve(n);
   for (const Octant<D>& o : a) cur.push_back(detail::key_rec_of(o));
@@ -187,6 +193,8 @@ void sort_keys(std::vector<okey_t>& a, RadixStats* stats) {
               [](okey_t x, okey_t y) { return key_less(x, y); });
     return;
   }
+  const obs::MemScope scratch(obs::MemTag::kSortScratch,
+                              2 * n * sizeof(KeyRec));
   std::vector<KeyRec> cur, tmp;
   cur.reserve(n);
   for (const okey_t k : a) cur.push_back({key_norm(k), k});

@@ -9,6 +9,7 @@
 #include "core/neighborhood.hpp"
 #include "core/seeds.hpp"
 #include "forest/span.hpp"
+#include "obs/mem.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -81,13 +82,20 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
     return worst;
   };
 
+  // Memory accounting: staging buffers live until the function returns;
+  // their scopes release then.  Each rank body binds its slot (MemRank) so
+  // the core kernels' scratch scopes attribute to the rank that ran them.
+  std::vector<obs::MemScope> qsend_mem(P), qrecv_mem(P), rrecv_mem(P);
+
   // ------------------------------------------------------------------
   // Phase 1: Local balance — per rank, per (tree, contiguous run).
   // ------------------------------------------------------------------
   {
     OBS_SPAN("local_balance");
+    obs::mem_set_phase("balance/local");
     par::parallel_for_ranks(P, [&](int r) {
       OBS_SPAN_RANK("local_balance", r);
+      const obs::MemRank mem_rank(r);
       Timer t;
       auto& mine = f.local(r);
       std::vector<TreeOct<D>> out;
@@ -229,6 +237,9 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
           h_queries_per_dest.record(r, qsend[r][dest].size());
         }
       }
+      std::size_t staged = 0;
+      for (const auto& v : qsend[r]) staged += v.size() * sizeof(WireOct<D>);
+      qsend_mem[r].set_slot(r, obs::MemTag::kBalanceStaging, staged);
       rank_secs[r] = t.seconds();
     });
     for (int r = 0; r < P; ++r) {
@@ -286,6 +297,11 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
         }
         qrecv[r].push_back({np.sender, std::move(items)});
       }
+      std::size_t staged = 0;
+      for (const auto& [from, items] : qrecv[r]) {
+        staged += items.size() * sizeof(WireOct<D>);
+      }
+      qrecv_mem[r].set_slot(r, obs::MemTag::kBalanceStaging, staged);
     });
     notify_model_time = comm.modeled_time() - mbefore;
     rep.t_notify = std::max(0.0, t.seconds() -
@@ -338,6 +354,11 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
       for (const auto& m : comm.recv_all(r)) {
         qrecv[r].push_back({m.from, SimComm::decode_items<WireOct<D>>(m)});
       }
+      std::size_t staged = 0;
+      for (const auto& [from, items] : qrecv[r]) {
+        staged += items.size() * sizeof(WireOct<D>);
+      }
+      qrecv_mem[r].set_slot(r, obs::MemTag::kBalanceStaging, staged);
     });
     rep.t_query_response += t.seconds();
   }
@@ -353,6 +374,7 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
     std::fill(rank_count.begin(), rank_count.end(), 0);
     par::parallel_for_ranks(P, [&](int r) {
       OBS_SPAN_RANK("response", r);
+      const obs::MemRank mem_rank(r);
       Timer t;
       const auto& mine = f.local(r);
       const auto runs = tree_runs(mine);
@@ -419,6 +441,11 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
       for (const auto& m : comm.recv_all(r)) {
         rrecv[r].push_back({m.from, SimComm::decode_items<WirePair<D>>(m)});
       }
+      std::size_t staged = 0;
+      for (const auto& [from, items] : rrecv[r]) {
+        staged += items.size() * sizeof(WirePair<D>);
+      }
+      rrecv_mem[r].set_slot(r, obs::MemTag::kBalanceStaging, staged);
     });
     for (int r = 0; r < P; ++r) {
       rep.response_items += rank_count[r];
@@ -432,8 +459,10 @@ BalanceReport balance(Forest<D>& f, const BalanceOptions& opt, SimComm& comm) {
   // ------------------------------------------------------------------
   {
     OBS_SPAN("local_rebalance");
+    obs::mem_set_phase("balance/rebalance");
     par::parallel_for_ranks(P, [&](int r) {
       OBS_SPAN_RANK("local_rebalance", r);
+      const obs::MemRank mem_rank(r);
       Timer t;
       auto& mine = f.local(r);
       if (opt.grouped_rebalance) {

@@ -6,10 +6,13 @@
 #include <iterator>
 #include <map>
 
+#include "core/lambda.hpp"
 #include "core/linear.hpp"
 #include "core/neighborhood.hpp"
 #include "core/region.hpp"
+#include "core/seeds.hpp"
 #include "forest/span.hpp"
+#include "obs/mem.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
@@ -17,12 +20,20 @@ namespace octbal {
 namespace {
 
 using detail::clip_to_span;
+using detail::linearize_treeocts;
 using detail::tree_runs;
 
 /// Re-balance every run of \p mine whose tree has auxiliary constraints:
 /// whole-run input + aux, coarsest balanced refinement, clipped back to
 /// the run's span (the old-scheme phase-4 mechanism).  Appends the leaves
 /// the re-balance created to \p created.
+///
+/// The run is already sorted and linear, so the balanced input is built by
+/// merging it with the sorted constraints and dropping ancestors in one
+/// in-place pass — the same array sort+linearize would produce (contains()
+/// is reflexive, so duplicate constraints collapse too) without the radix
+/// scratch of the keyed linearize, which would dominate the delta pass's
+/// memory peak on run-sized inputs.
 template <int D>
 void rebalance_with_aux(std::vector<TreeOct<D>>& mine,
                         const std::map<std::int32_t, std::vector<Octant<D>>>& aux,
@@ -32,6 +43,7 @@ void rebalance_with_aux(std::vector<TreeOct<D>>& mine,
   const auto root = root_octant<D>();
   std::vector<TreeOct<D>> out;
   out.reserve(mine.size());
+  std::vector<Octant<D>> extra;
   for (const auto& [i, j] : tree_runs(mine)) {
     const std::int32_t tree = mine[i].tree;
     const auto it = aux.find(tree);
@@ -39,13 +51,27 @@ void rebalance_with_aux(std::vector<TreeOct<D>>& mine,
       out.insert(out.end(), mine.begin() + i, mine.begin() + j);
       continue;
     }
+    extra.assign(it->second.begin(), it->second.end());
+    std::sort(extra.begin(), extra.end());
+    const Octant<D> first = mine[i].oct, last = mine[j - 1].oct;
     std::vector<Octant<D>> input;
-    input.reserve(j - i + it->second.size());
-    for (std::size_t q = i; q < j; ++q) input.push_back(mine[q].oct);
-    const Octant<D> first = input.front(), last = input.back();
-    input.insert(input.end(), it->second.begin(), it->second.end());
-    std::sort(input.begin(), input.end());
-    linearize(input);
+    input.reserve((j - i) + extra.size());
+    std::size_t q = i, e = 0;
+    while (q < j && e < extra.size()) {
+      if (extra[e] < mine[q].oct) {
+        input.push_back(extra[e++]);
+      } else {
+        input.push_back(mine[q++].oct);
+      }
+    }
+    for (; q < j; ++q) input.push_back(mine[q].oct);
+    input.insert(input.end(), extra.begin() + e, extra.end());
+    std::size_t w = 0;
+    for (std::size_t t = 0; t < input.size(); ++t) {
+      if (t + 1 < input.size() && contains(input[t], input[t + 1])) continue;
+      input[w++] = input[t];
+    }
+    input.resize(w);
     const auto bal = balance_subtree(opt.subtree, input, k, root);
     const std::size_t w0 = out.size();
     clip_to_span(bal, first, last, tree, out);
@@ -54,6 +80,101 @@ void rebalance_with_aux(std::vector<TreeOct<D>>& mine,
                         std::back_inserter(created));
   }
   mine.swap(out);
+}
+
+/// Apply a round's exterior constraints with the insulation-grouped
+/// mechanism of the full pipeline's phase 4 (balance.cpp): for every local
+/// leaf a constraint violates 2:1 against, reconstruct the balanced
+/// subtree under that leaf from seeds and merge the cells — scratch
+/// proportional to the violations, not the run, unlike the whole-run
+/// rebalance whose run-sized hash tables would dominate the delta pass's
+/// memory peak.  Exact for the same reason the full pipeline's grouped
+/// rebalance is: every run is internally balanced when the round's
+/// constraints arrive, so the insulation property confines the refinement
+/// to the constrained leaves.  Appends the created cells (the next
+/// frontier) to \p created.
+template <int D>
+void grouped_apply(std::vector<TreeOct<D>>& mine,
+                   const std::map<std::int32_t, std::vector<Octant<D>>>& aux,
+                   const BalanceOptions& opt, int k,
+                   std::vector<TreeOct<D>>& created) {
+  if (aux.empty()) return;
+  const auto& offs = full_offsets<D>();
+  std::vector<TreeOct<D>> extra;
+  for (const auto& [i, j] : tree_runs(mine)) {
+    const std::int32_t tree = mine[i].tree;
+    const auto it = aux.find(tree);
+    if (it == aux.end()) continue;
+    const auto run_lo = mine.begin() + static_cast<std::ptrdiff_t>(i);
+    const auto run_hi = mine.begin() + static_cast<std::ptrdiff_t>(j);
+    // Constrained leaves and their constraints, grouped per leaf.  The
+    // constrained leaves are found from the receiver side: every leaf a
+    // constraint can violate overlaps one of the constraint's own-size
+    // neighbor pieces (it is coarser by two or more levels, so it contains
+    // the piece and touches the constraint).
+    std::map<Octant<D>, std::vector<Octant<D>>> groups;
+    std::vector<std::size_t> cand;
+    Octant<D> piece;
+    for (const Octant<D>& o : it->second) {
+      // A coarse leaf contains many of the constraint's halo pieces, so
+      // collect the candidate leaves across all pieces and deduplicate
+      // before seeding — otherwise every pair is seeded once per piece.
+      cand.clear();
+      for (const auto& off : offs) {
+        if (!neighbor_in_root<D>(o, off, &piece)) continue;
+        const morton_t pb = morton_key(piece);
+        const morton_t pe = pb + (morton_t{1} << (D * size_exp(piece)));
+        auto lo = std::partition_point(
+            run_lo, run_hi, [&](const TreeOct<D>& t) {
+              return morton_key(t.oct) +
+                         (morton_t{1} << (D * size_exp(t.oct))) <=
+                     pb;
+            });
+        const auto hi =
+            std::partition_point(lo, run_hi, [&](const TreeOct<D>& t) {
+              return morton_key(t.oct) < pe;
+            });
+        for (; lo != hi; ++lo) {
+          cand.push_back(static_cast<std::size_t>(lo - mine.begin()));
+        }
+      }
+      std::sort(cand.begin(), cand.end());
+      cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+      for (const std::size_t qi : cand) {
+        const Octant<D>& q = mine[qi].oct;
+        if (opt.seed_response) {
+          if (o.level <= q.level + 1) continue;  // 2:1 already
+          if (balanced_pair(o, q, k)) continue;  // O(1) decision
+          for (const auto& s : balance_seeds(o, q, k)) {
+            groups[q].push_back(s);
+          }
+        } else {
+          if (o.level <= q.level) continue;  // too coarse
+          groups[q].push_back(o);
+        }
+      }
+    }
+    for (auto& [q, octs] : groups) {
+      // Sort + in-place ancestor drop (duplicate seeds from distinct
+      // constraints collapse here): the groups are small, and the keyed
+      // linearize's radix scratch is pointless overhead at this size.
+      std::sort(octs.begin(), octs.end());
+      std::size_t w = 0;
+      for (std::size_t t = 0; t < octs.size(); ++t) {
+        if (t + 1 < octs.size() && contains(octs[t], octs[t + 1])) continue;
+        octs[w++] = octs[t];
+      }
+      octs.resize(w);
+      const auto sub = balance_subtree(opt.subtree, octs, k, q);
+      if (sub.size() == 1 && sub[0] == q) continue;  // already balanced
+      for (const auto& c : sub) extra.push_back(TreeOct<D>{tree, c});
+    }
+  }
+  if (extra.empty()) return;
+  created.insert(created.end(), extra.begin(), extra.end());
+  std::sort(created.begin(), created.end());
+  mine.insert(mine.end(), extra.begin(), extra.end());
+  linearize_treeocts(mine);
 }
 
 }  // namespace
@@ -85,6 +206,9 @@ DeltaBalanceReport delta_balance(Forest<D>& f, const BalanceOptions& opt,
   // a repartition between the churn batch and this call just moves the
   // entry to its new owner's intersection.)
   std::vector<TreeOct<D>> dirty = f.dirty();
+  // The pass consumes the log up front: once copied it is dead weight, and
+  // releasing its accounted bytes here keeps it off the scratch peak.
+  f.clear_dirty();
   std::sort(dirty.begin(), dirty.end());
   dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   std::vector<std::vector<TreeOct<D>>> frontier(P);
@@ -117,7 +241,9 @@ DeltaBalanceReport delta_balance(Forest<D>& f, const BalanceOptions& opt,
   // (whole-run, no constraints yet) — the phase-1 restriction to dirty
   // runs.  Runs without a frontier octant are fixed points of local
   // balance and are skipped.  Created leaves join the frontier.
+  obs::mem_set_phase("churn/local");
   par::parallel_for_ranks(P, [&](int r) {
+    const obs::MemRank mem_rank(r);
     if (frontier[r].empty()) return;
     std::map<std::int32_t, std::vector<Octant<D>>> touch;
     for (const auto& to : frontier[r]) touch[to.tree];  // empty aux: run-only
@@ -136,6 +262,8 @@ DeltaBalanceReport delta_balance(Forest<D>& f, const BalanceOptions& opt,
   std::vector<std::vector<std::vector<WireOct<D>>>> qsend(P);
   std::vector<std::map<std::int32_t, std::vector<Octant<D>>>> aux(P);
   std::vector<std::uint64_t> rank_created(P, 0);
+  // Per-rank staging high water across rounds: frontier + pushes + aux.
+  std::vector<obs::MemScope> stage_mem(P);
   const auto& offs = full_offsets<D>();
   const int round_cap = 4 * max_level<D> + 8;
   for (int round = 0;; ++round) {
@@ -228,6 +356,17 @@ DeltaBalanceReport delta_balance(Forest<D>& f, const BalanceOptions& opt,
         std::sort(q.begin(), q.end());
         q.erase(std::unique(q.begin(), q.end()), q.end());
       }
+      // The frontier's last reader is the push walk above: free it here so
+      // its bytes never overlap the exchange or the apply (it comes back
+      // as the apply's created leaves).
+      frontier[r].clear();
+      frontier[r].shrink_to_fit();
+      std::size_t staged = 0;
+      for (const auto& q : qsend[r]) staged += q.size() * sizeof(WireOct<D>);
+      for (const auto& [tree, octs] : aux[r]) {
+        staged += octs.size() * sizeof(Octant<D>);
+      }
+      stage_mem[r].set_slot(r, obs::MemTag::kBalanceStaging, staged);
     });
 
     // Charged termination consensus: one scalar allreduce of the round's
@@ -283,10 +422,30 @@ DeltaBalanceReport delta_balance(Forest<D>& f, const BalanceOptions& opt,
       });
     }
 
-    // Apply the constraints; the created leaves are the next frontier.
+    // The announcements are delivered: drop them — buffers and staging
+    // charge both — before the apply phase stacks its balance scratch on
+    // top of the same rank slots.  Only the constraints stay staged.
     par::parallel_for_ranks(P, [&](int r) {
+      qsend[r].assign(P, {});
+      std::size_t staged = 0;
+      for (const auto& [tree, octs] : aux[r]) {
+        staged += octs.size() * sizeof(Octant<D>);
+      }
+      stage_mem[r].set_slot(r, obs::MemTag::kBalanceStaging, staged);
+    });
+
+    // Apply the constraints; the created leaves are the next frontier.
+    // Under the new configuration the grouped mechanism keeps the apply
+    // scratch proportional to the violations; the old configuration keeps
+    // the paper's whole-run re-balance for comparison.
+    par::parallel_for_ranks(P, [&](int r) {
+      const obs::MemRank mem_rank(r);
       std::vector<TreeOct<D>> created;
-      rebalance_with_aux(f.local(r), aux[r], opt, k, created);
+      if (opt.grouped_rebalance) {
+        grouped_apply(f.local(r), aux[r], opt, k, created);
+      } else {
+        rebalance_with_aux(f.local(r), aux[r], opt, k, created);
+      }
       rank_created[r] += created.size();
       frontier[r].swap(created);
     });
@@ -298,7 +457,6 @@ DeltaBalanceReport delta_balance(Forest<D>& f, const BalanceOptions& opt,
   }
   c_rounds.add(0, static_cast<std::uint64_t>(rep.rounds));
   f.refresh_markers();
-  f.clear_dirty();
   comm.set_phase(phase0);
   rep.comm.messages = comm.stats().messages - stats0.messages;
   rep.comm.bytes = comm.stats().bytes - stats0.bytes;

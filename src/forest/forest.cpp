@@ -123,6 +123,18 @@ void Forest<D>::refresh_markers() {
   }
   // The first marker covers the whole curve from the very beginning.
   marks_[0] = GlobalPos{0, morton_key(root_octant<D>())};
+  account_memory();
+}
+
+template <int D>
+void Forest<D>::account_memory() {
+  const int p = num_ranks();
+  leaf_mem_.resize(p);
+  for (int r = 0; r < p; ++r) {
+    leaf_mem_[r].set_slot(r, obs::MemTag::kForestLeaves,
+                          local_[r].size() * sizeof(TreeOct<D>));
+  }
+  dirty_mem_.set(obs::MemTag::kDirtyLog, dirty_.size() * sizeof(TreeOct<D>));
 }
 
 template <int D>

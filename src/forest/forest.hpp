@@ -16,6 +16,7 @@
 
 #include "comm/simcomm.hpp"
 #include "forest/connectivity.hpp"
+#include "obs/mem.hpp"
 
 namespace octbal {
 
@@ -101,7 +102,10 @@ class Forest {
   /// delta_balance() consumes and clears it; a full balance() does not
   /// touch it, so callers switching paths clear it themselves.
   const std::vector<TreeOct<D>>& dirty() const { return dirty_; }
-  void clear_dirty() { dirty_.clear(); }
+  void clear_dirty() {
+    dirty_.clear();
+    dirty_mem_.set(obs::MemTag::kDirtyLog, 0);
+  }
 
   /// Redistribute octants so every rank owns an equal share (±1), updating
   /// the partition markers.  Bytes crossing rank boundaries are charged to
@@ -126,6 +130,12 @@ class Forest {
   /// replaces the local arrays in place; ownership regions are unchanged).
   void refresh_markers();
 
+  /// Re-charge the per-rank leaf arrays and dirty log against the
+  /// *currently installed* memory accountant.  Every mutator does this via
+  /// refresh_markers(); call it directly when a MemSession starts after
+  /// the forest was built, so the session's baseline includes the mesh.
+  void account_memory();
+
  private:
   void set_all(std::vector<TreeOct<D>> all, std::vector<std::size_t> counts,
                SimComm* comm);
@@ -137,6 +147,11 @@ class Forest {
   /// Stored globally (not per rank) so repartitioning between the churn
   /// batch and the delta balance cannot orphan an entry.
   std::vector<TreeOct<D>> dirty_;
+  /// Memory accounting (obs/mem.hpp): one kForestLeaves scope per rank
+  /// slot, one engine-slot kDirtyLog scope.  Copying the forest duly
+  /// re-charges both.  Updated at every refresh_markers()/clear_dirty().
+  std::vector<obs::MemScope> leaf_mem_;
+  obs::MemScope dirty_mem_;
 };
 
 /// Counters of the windowed owner resolution (OwnerWindow).  All counts are

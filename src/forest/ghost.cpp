@@ -6,6 +6,7 @@
 #include "core/balance_check.hpp"
 #include "core/linear.hpp"
 #include "core/neighborhood.hpp"
+#include "obs/mem.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
@@ -71,6 +72,9 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
   std::vector<std::vector<std::vector<WireGhost<D>>>> send(P);
   std::vector<std::vector<int>> receivers(P);
   std::vector<OwnerScanStats> rank_owner(P);
+  // Candidate staging + accepted entries, per rank (kGhost); the scopes
+  // release when the build returns — the snapshot keeps the peak.
+  std::vector<obs::MemScope> stage_mem(P);
   const auto& offs = balance_offsets<D>(k);
   par::parallel_for_ranks(P, [&](int r) {
     OBS_SPAN_RANK("ghost_candidates", r);
@@ -151,6 +155,9 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
         c_candidates.add(r, send[r][q].size());
       }
     }
+    std::size_t staged = 0;
+    for (const auto& v : send[r]) staged += v.size() * sizeof(WireGhost<D>);
+    stage_mem[r].set_slot(r, obs::MemTag::kGhost, staged);
   });
   for (int r = 0; r < P; ++r) {
     ghost.owner_scan += rank_owner[r];
@@ -202,6 +209,9 @@ GhostLayer<D> build_ghost_layer(const Forest<D>& f, int k, SimComm& comm,
               [](const auto& a, const auto& b) { return a.oct < b.oct; });
     out.erase(std::unique(out.begin(), out.end()), out.end());
     c_entries.add(r, out.size());
+    std::size_t staged = out.size() * sizeof(typename GhostLayer<D>::Entry);
+    for (const auto& v : send[r]) staged += v.size() * sizeof(WireGhost<D>);
+    stage_mem[r].set_slot(r, obs::MemTag::kGhost, staged);
   });
   ghost.traffic.messages = comm.stats().messages - pre.messages;
   ghost.traffic.bytes = comm.stats().bytes - pre.bytes;

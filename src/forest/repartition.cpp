@@ -6,6 +6,7 @@
 
 #include "core/insulation.hpp"
 #include "core/neighborhood.hpp"
+#include "obs/mem.hpp"
 
 namespace octbal {
 namespace {
@@ -131,6 +132,12 @@ class QueryOracle {
         begin_.push_back(static_cast<std::uint32_t>(pieces_.size()));
       }
     }
+    // The replay tables (plus the per-eval owner scratch, which always
+    // fills to n entries) dominate the nudge search's footprint.
+    mem_.set(obs::MemTag::kRepartition,
+             pieces_.size() * sizeof(Piece) +
+                 (oct_of_.size() + begin_.size()) * sizeof(std::uint32_t) +
+                 n_ * sizeof(std::uint16_t));
   }
 
   /// Predicted slack of the query exchange round under \p cuts: exactly
@@ -203,6 +210,7 @@ class QueryOracle {
   std::vector<std::uint32_t> begin_;   ///< stored octant -> first piece
   std::vector<Piece> pieces_;
   mutable std::vector<std::uint16_t> own_;  ///< eval scratch: index -> rank
+  obs::MemScope mem_;                  ///< replay tables (kRepartition)
 };
 
 /// Shared tail of repartition() and apply_cuts(): record the marker shift,
@@ -230,6 +238,9 @@ void apply_cuts_impl(Forest<D>& f, const std::vector<TreeOct<D>>& all,
   }
   if (cuts == old_cuts) return;
 
+  const obs::MemScope moved_mem(
+      obs::MemTag::kRepartition,
+      static_cast<std::size_t>(p) * p * sizeof(std::uint64_t));
   std::vector<std::vector<std::uint64_t>> moved(
       static_cast<std::size_t>(p), std::vector<std::uint64_t>(p, 0));
   {
@@ -296,6 +307,8 @@ RepartitionReport repartition(Forest<D>& f, const RepartitionOptions& opt,
   const int p = f.num_ranks();
   const std::vector<TreeOct<D>> all = f.gather();
   const std::size_t n = all.size();
+  const obs::MemScope gather_mem(obs::MemTag::kRepartition,
+                                 n * sizeof(TreeOct<D>));
 
   // Current cuts as global SFC indices: rank r owns [cuts[r], cuts[r+1]).
   // Resolved through the partition markers — the index a real migration
@@ -578,6 +591,8 @@ RepartitionReport apply_cuts(Forest<D>& f,
   const int p = f.num_ranks();
   assert(cuts.size() == static_cast<std::size_t>(p) + 1);
   const std::vector<TreeOct<D>> all = f.gather();
+  const obs::MemScope gather_mem(obs::MemTag::kRepartition,
+                                 all.size() * sizeof(TreeOct<D>));
   assert(cuts.front() == 0 && cuts.back() == all.size());
   std::vector<std::size_t> old_cuts(p + 1, 0);
   for (int r = 0; r < p; ++r) old_cuts[r + 1] = old_cuts[r] + f.local(r).size();

@@ -233,6 +233,53 @@ void diff_critical_path(Differ& d, const std::string& path,
   }
 }
 
+/// The v3 memory section: every field is a deterministic peak counter (or
+/// an exact function of them), so everything here is compared exactly —
+/// there is no tol gate.  v2 reports have no section and are skipped by
+/// the one-sided rule; max_rss_kb is a timing-class field and is never
+/// compared at all.
+void diff_memory(Differ& d, const std::string& path, const JsonValue* a,
+                 const JsonValue* b) {
+  if (!a || !b) return;
+  for (const char* key : {"nranks", "peak_bytes", "bytes_per_leaf"}) {
+    d.exact(path + "." + key, a->find(key), b->find(key));
+  }
+  const JsonValue* at = a->find("tags");
+  const JsonValue* bt = b->find("tags");
+  if (at && bt && at->is_object() && bt->is_object()) {
+    for (const auto& [name, av] : at->obj) {
+      const JsonValue* bv = bt->find(name);
+      if (!bv) continue;
+      const std::string p = path + ".tags." + name;
+      for (const char* key :
+           {"total", "engine", "min", "max", "mean", "imbalance"}) {
+        d.exact(p + "." + key, av.find(key), bv->find(key));
+      }
+      d.exact_array(p + ".per_rank", av.find("per_rank"),
+                    bv->find("per_rank"));
+    }
+  }
+  const JsonValue* ap = a->find("phases");
+  const JsonValue* bp = b->find("phases");
+  if (ap && bp && ap->is_array() && bp->is_array()) {
+    if (ap->arr.size() != bp->arr.size()) {
+      d.mismatch(path + ".phases.length", std::to_string(ap->arr.size()),
+                 std::to_string(bp->arr.size()));
+      return;
+    }
+    for (std::size_t i = 0; i < ap->arr.size(); ++i) {
+      const std::string p = path + ".phases[" + std::to_string(i) + "]";
+      const JsonValue& av = ap->arr[i];
+      const JsonValue& bv = bp->arr[i];
+      d.exact_member(p, av, bv, "phase");
+      d.exact_member(p, av, bv, "engine");
+      d.exact_member(p, av, bv, "max");
+      d.exact_array(p + ".per_rank", av.find("per_rank"),
+                    bv.find("per_rank"));
+    }
+  }
+}
+
 void diff_run(Differ& d, const std::string& path, const JsonValue& a,
               const JsonValue& b) {
   // Identity first: a pairing mismatch makes field diffs meaningless.
@@ -265,6 +312,7 @@ void diff_run(Differ& d, const std::string& path, const JsonValue& a,
     }
   }
   d.timing_member(path, a, b, "modeled_time");
+  diff_memory(d, path + ".memory", a.find("memory"), b.find("memory"));
   // bench_repartition's per-run convergence section: the migration
   // counters and rounds-to-converge are machine-independent goldens; the
   // slack trajectory is modeled time and goes through the tol gate like
@@ -324,7 +372,8 @@ void diff_run(Differ& d, const std::string& path, const JsonValue& a,
           const JsonValue& bv = bs->arr[i];
           for (const char* key :
                {"step", "octants", "refined", "coarsened", "dirty", "region",
-                "constraints", "created", "rounds", "identical"}) {
+                "constraints", "created", "rounds", "identical",
+                "full_peak_bytes", "delta_peak_bytes"}) {
             d.exact(sp + "." + key, av.find(key), bv.find(key));
           }
           d.timing_member(sp, av, bv, "modeled_full");
@@ -555,6 +604,69 @@ std::string render_critical_path(const JsonValue& doc, std::string* err) {
     out += fmt("  modeled time %.6g s; phase sum %.6g s (delta %.2g)\n",
                modeled, sum, modeled - sum);
   }
+  return out;
+}
+
+std::string render_mem(const JsonValue& doc, std::string* err) {
+  const JsonValue* rep = bench_report_section(doc, err);
+  if (!rep) return "";
+  const JsonValue* runs = rep->find("runs");
+  if (!runs || !runs->is_array()) {
+    if (err) *err = "report has no runs array";
+    return "";
+  }
+  std::string out;
+  bool any = false;
+  for (std::size_t i = 0; i < runs->arr.size(); ++i) {
+    const JsonValue& run = runs->arr[i];
+    out += fmt("run[%zu] algo=%s ranks=%llu\n", i,
+               run.string_or("algo", "?").c_str(),
+               static_cast<unsigned long long>(run.uint_or("ranks", 0)));
+    const JsonValue* mem = run.find("memory");
+    if (!mem) {
+      out += "  (no memory section: report predates octbal-bench-report-v3 "
+             "or was built with OCTBAL_OBS_DISABLE)\n";
+      continue;
+    }
+    any = true;
+    out += fmt("  peak %llu B",
+               static_cast<unsigned long long>(mem->uint_or("peak_bytes",
+                                                            0)));
+    if (const JsonValue* bpl = mem->find("bytes_per_leaf")) {
+      out += fmt(" (%.2f B/leaf)", bpl->num);
+    }
+    if (const std::int64_t rss =
+            static_cast<std::int64_t>(run.number_or("max_rss_kb", -1));
+        rss >= 0) {
+      out += fmt("; process max-RSS %lld KB (context only, not diffed)",
+                 static_cast<long long>(rss));
+    }
+    out += "\n";
+    if (const JsonValue* tags = mem->find("tags");
+        tags && tags->is_object()) {
+      out += fmt("  %-16s %12s %12s %12s %12s %7s\n", "tag", "total",
+                 "engine", "rank max", "rank mean", "imbal");
+      for (const auto& [name, t] : tags->obj) {
+        out += fmt("  %-16s %12llu %12llu %12llu %12.1f %7.2f\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(t.uint_or("total", 0)),
+                   static_cast<unsigned long long>(t.uint_or("engine", 0)),
+                   static_cast<unsigned long long>(t.uint_or("max", 0)),
+                   t.number_or("mean", 0), t.number_or("imbalance", 0));
+      }
+    }
+    if (const JsonValue* phases = mem->find("phases");
+        phases && phases->is_array() && !phases->arr.empty()) {
+      out += fmt("  %-24s %12s %12s\n", "phase", "rank peak", "engine");
+      for (const JsonValue& ph : phases->arr) {
+        out += fmt("  %-24s %12llu %12llu\n",
+                   ph.string_or("phase", "?").c_str(),
+                   static_cast<unsigned long long>(ph.uint_or("max", 0)),
+                   static_cast<unsigned long long>(ph.uint_or("engine", 0)));
+      }
+    }
+  }
+  if (!any && err && out.empty()) *err = "report carries no memory sections";
   return out;
 }
 

@@ -58,6 +58,12 @@ std::string render_report(const JsonValue& doc, std::string* err);
 /// reconciliation against the run's modeled time.
 std::string render_critical_path(const JsonValue& doc, std::string* err);
 
+/// Pretty text for `octbal_inspect mem`: each run's deterministic memory
+/// section — whole-run peak, bytes per leaf, per-tag totals with per-rank
+/// reductions, and the per-phase peak table.  Reports without a memory
+/// section (v2 or OCTBAL_OBS_DISABLE builds) get a per-run notice.
+std::string render_mem(const JsonValue& doc, std::string* err);
+
 /// One field-level difference between two reports.
 struct DiffEntry {
   std::string path;   ///< e.g. "runs[2].comm.bytes"

@@ -157,7 +157,7 @@ TEST(Inspect, ReportRoundTripsThroughParser) {
   report.add("new", r);
   const JsonValue doc = parse_ok(report.json());
 
-  EXPECT_EQ(doc.string_or("schema", ""), "octbal-bench-report-v2");
+  EXPECT_EQ(doc.string_or("schema", ""), "octbal-bench-report-v3");
   EXPECT_EQ(doc.string_or("bench", ""), "roundtrip");
   EXPECT_TRUE(doc.bool_or("ok", false));
   const JsonValue* runs = doc.find("runs");
@@ -633,7 +633,7 @@ TEST(Inspect, RenderersAndTopTalkers) {
   std::string err;
   const std::string rep = obs::render_report(doc, &err);
   EXPECT_TRUE(err.empty()) << err;
-  EXPECT_NE(rep.find("octbal-bench-report-v2"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("octbal-bench-report-v3"), std::string::npos) << rep;
   EXPECT_NE(rep.find("top talkers"), std::string::npos) << rep;
 
   const JsonValue& run = doc.find("runs")->arr[0];

@@ -36,6 +36,7 @@
 #include "forest/balance.hpp"
 #include "forest/ghost.hpp"
 #include "forest/repartition.hpp"
+#include "obs/mem.hpp"
 #include "repartition_loop.hpp"
 #include "util/rng.hpp"
 #include "workload/workloads.hpp"
@@ -192,6 +193,49 @@ TEST(PerfGuards, GhostOwnerResolutionStaysWindowed) {
   // hits (measured 77.8%) and <= 5 comparisons per lookup (measured 4.0).
   EXPECT_GE(os.cache_hits * 10, os.lookups * 7);
   EXPECT_LE(os.comparisons, 5 * os.lookups);
+}
+
+std::uint64_t tag_total(const obs::MemSnapshot& m, obs::MemTag tag) {
+  for (const auto& t : m.tags) {
+    if (t.tag == tag) return t.total;
+  }
+  return 0;
+}
+
+TEST(PerfGuards, MemoryPeaksPinnedPerLayout) {
+  // The memory accountant tracks logical capacity transitions, so every
+  // figure below is a pure function of the workload and the CoreLayout —
+  // pinned exactly, like the traffic goldens (the same numbers live in
+  // BENCH_baseline.json's fig15 memory sections).  The layouts size
+  // different record types (KeyRec vs Octant<3> scratch, key-SoA vs AoS
+  // hash slots), so each gets its own golden rather than being expected
+  // to match.
+  const auto run = [](CoreLayout layout) {
+    const ScopedCoreLayout scoped(layout);
+    obs::MemSession mem(16);
+    Forest<3> f = fig15_step2_forest();
+    SimComm comm(16);
+    balance(f, BalanceOptions::new_config(), comm);
+    return mem.snapshot();
+  };
+  {
+    const obs::MemSnapshot m = run(CoreLayout::kKeySoA);
+    EXPECT_EQ(m.peak_bytes, 11304912u);
+    EXPECT_EQ(tag_total(m, obs::MemTag::kHashSlots), 4718592u);
+    EXPECT_EQ(tag_total(m, obs::MemTag::kForestLeaves), 4793440u);
+    EXPECT_EQ(tag_total(m, obs::MemTag::kBalanceStaging), 1496824u);
+    EXPECT_EQ(tag_total(m, obs::MemTag::kCommMailbox), 1026640u);
+  }
+  {
+    const obs::MemSnapshot m = run(CoreLayout::kAoS);
+    EXPECT_EQ(m.peak_bytes, 17737968u);
+    EXPECT_EQ(tag_total(m, obs::MemTag::kHashSlots), 10485760u);
+    // Layout changes how kernels compute, not what the forest holds or
+    // what travels: leaf bytes, staging and mailbox peaks match kKeySoA.
+    EXPECT_EQ(tag_total(m, obs::MemTag::kForestLeaves), 4793440u);
+    EXPECT_EQ(tag_total(m, obs::MemTag::kBalanceStaging), 1496824u);
+    EXPECT_EQ(tag_total(m, obs::MemTag::kCommMailbox), 1026640u);
+  }
 }
 
 RepartitionOptions bench_nudge_options() {
